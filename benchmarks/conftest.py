@@ -1,0 +1,43 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and asserts the
+*shape* of the result (who wins, roughly by how much).  Scale defaults to
+``test`` so the whole suite runs in minutes; set ``REPRO_BENCH_SCALE=ref``
+for the full-size runs recorded in EXPERIMENTS.md.
+
+Simulations are deterministic, so every benchmark uses a single round
+(``benchmark.pedantic(..., rounds=1)``): the interesting output is the
+regenerated table (written to ``benchmarks/_artifacts/``), not timing jitter.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "test")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def shared_runner(scale) -> ExperimentRunner:
+    """One runner for the whole session so baselines are simulated once."""
+    return ExperimentRunner(scale=scale)
+
+
+def save_artifact(name: str, text: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / f"{name}.txt"
+    path.write_text(text + "\n")

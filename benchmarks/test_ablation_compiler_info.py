@@ -1,0 +1,22 @@
+"""Ablation A: Levioso with compiler metadata erased."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import ablation_compiler
+
+
+def test_ablation_compiler_info(benchmark, scale, shared_runner):
+    result = benchmark.pedantic(
+        ablation_compiler.run,
+        kwargs={"scale": scale, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablationA", result.text())
+    informed = result.extras["geomean_informed"]
+    blind = result.extras["geomean_blind"]
+    ctt = result.extras["geomean_ctt"]
+    # The compiler information is what separates Levioso from CTT:
+    # removing it must cost performance and land near (or beyond) CTT.
+    assert informed < blind
+    assert blind >= 0.8 * ctt, (informed, blind, ctt)

@@ -1,0 +1,21 @@
+"""Ablation C: Levioso dependency-matrix width."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import ablation_mask
+
+
+def test_ablation_mask_width(benchmark, scale):
+    result = benchmark.pedantic(
+        ablation_mask.run,
+        kwargs={"scale": scale, "widths": (1, 4, None)},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablationC", result.text())
+    series = dict(result.extras["series"])
+    # Wider matrices never hurt, and a 4-column matrix is within 25% of
+    # unbounded tracking (relative) — the hardware-budget claim.
+    assert series["4"] >= series["unbounded"] - 1e-9
+    assert series["1"] >= series["4"] - 1e-9
+    assert series["4"] <= series["unbounded"] * 1.25 + 0.02

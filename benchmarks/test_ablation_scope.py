@@ -1,0 +1,20 @@
+"""Ablation B: the overhead price of the comprehensive guarantee."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import ablation_scope
+
+
+def test_ablation_scope(benchmark, scale, shared_runner):
+    result = benchmark.pedantic(
+        ablation_scope.run,
+        kwargs={"scale": scale, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablationB", result.text())
+    gm = result.extras["geomeans"]
+    # STT (weaker guarantee) is cheaper than CTT (comprehensive)...
+    assert gm["stt"] <= gm["ctt"], gm
+    # ...and Levioso closes much of that gap while keeping the guarantee.
+    assert gm["levioso"] < gm["ctt"], gm

@@ -1,0 +1,23 @@
+"""Extension: energy / EDP overhead per policy."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import energy
+
+
+def test_energy_overhead(benchmark, scale, shared_runner):
+    result = benchmark.pedantic(
+        energy.run,
+        kwargs={"scale": scale, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("energy", result.text())
+    geomeans = result.extras["geomeans"]
+    lev_e, lev_edp = geomeans["levioso"]
+    fence_e, fence_edp = geomeans["fence"]
+    ctt_e, ctt_edp = geomeans["ctt"]
+    # Levioso wins on EDP against both baselines even after paying for its
+    # dependency-tracking hardware.
+    assert lev_edp < ctt_edp <= fence_edp * 1.1, geomeans
+    assert lev_e <= ctt_e + 0.01, geomeans

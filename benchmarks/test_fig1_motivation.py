@@ -1,0 +1,23 @@
+"""Fig. 1: conservative vs true-dependence load restrictions at issue."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, scale, shared_runner):
+    result = benchmark.pedantic(
+        fig1.run,
+        kwargs={"scale": scale, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig1", result.text())
+    mean_cons = result.extras["mean_conservative"]
+    mean_true = result.extras["mean_true"]
+    # The paper's motivation: most speculative loads do NOT truly depend on
+    # the branches that make them speculative.
+    assert mean_true < mean_cons
+    assert mean_cons - mean_true > 0.10, (
+        f"expected >=10pp headroom, got {mean_cons:.3f} vs {mean_true:.3f}"
+    )

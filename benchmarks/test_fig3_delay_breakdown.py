@@ -1,0 +1,20 @@
+"""Fig. 3: delayed-transmitter counts behind the Fig. 2 overheads."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import fig3
+
+
+def test_fig3_delay_breakdown(benchmark, scale, shared_runner):
+    result = benchmark.pedantic(
+        fig3.run,
+        kwargs={"scale": scale, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig3", result.text())
+    totals = result.extras["totals"]
+    mean = {p: sum(v) / len(v) for p, v in totals.items()}
+    # Levioso delays fewer loads per kilo-instruction than the baselines.
+    assert mean["levioso"] < mean["ctt"] <= mean["fence"] * 1.5, mean
+    assert mean["fence"] > mean["levioso"], mean

@@ -1,0 +1,42 @@
+"""Fig. 4: geomean overhead vs ROB size."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import fig4
+
+
+def test_fig4_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs={"scale": scale, "rob_sizes": (64, 192)},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig4", result.text())
+    series = result.extras["series"]
+    # At every window size the ordering holds.
+    for (rob_f, fence), (rob_c, ctt), (rob_l, levioso) in zip(
+        series["fence"], series["ctt"], series["levioso"]
+    ):
+        assert rob_f == rob_c == rob_l
+        assert levioso <= ctt <= fence * 1.05, (rob_f, fence, ctt, levioso)
+
+
+def test_fig4b_branch_latency(benchmark, scale):
+    result = benchmark.pedantic(
+        fig4.run_branch_latency,
+        kwargs={"scale": scale, "latencies": (1, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig4b", result.text())
+    series = result.extras["series"]
+    for policy in ("fence", "ctt"):
+        # Deeper branch resolution makes conservative protection costlier.
+        first, last = series[policy][0][1], series[policy][-1][1]
+        assert last >= first, (policy, series[policy])
+    # Ordering holds at every latency point.
+    for (l_f, fence), (l_c, ctt), (l_l, levioso) in zip(
+        series["fence"], series["ctt"], series["levioso"]
+    ):
+        assert levioso <= ctt <= fence * 1.05, (l_f, fence, ctt, levioso)

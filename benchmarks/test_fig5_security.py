@@ -1,0 +1,27 @@
+"""Fig. 5: the security matrix (attacks x policies)."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import fig5
+
+
+def test_fig5_security(benchmark):
+    result = benchmark.pedantic(
+        fig5.run, kwargs={"secrets": (0x5A, 0xA7)}, rounds=1, iterations=1
+    )
+    save_artifact("fig5", result.text())
+    rates = result.extras["leak_rates"]
+    # Unprotected leaks every attack, every trial.
+    for attack in ("spectre_v1", "spectre_v2", "spectre_v1_ct"):
+        assert rates[(attack, "none")] == 1.0, attack
+    # STT blocks the sandbox attack but not the non-speculative-secret ones.
+    assert rates[("spectre_v1", "stt")] == 0.0
+    assert rates[("spectre_v1_ct", "stt")] == 1.0
+    assert rates[("spectre_v2", "stt")] == 1.0
+    # NDA likewise protects speculative secrets only.
+    assert rates[("spectre_v1", "nda")] == 0.0
+    assert rates[("spectre_v2", "nda")] == 1.0
+    # Every comprehensive policy blocks everything.
+    for policy in ("fence", "dom", "ctt", "levioso"):
+        for attack in ("spectre_v1", "spectre_v2", "spectre_v1_ct"):
+            assert rates[(attack, policy)] == 0.0, (policy, attack)

@@ -1,0 +1,12 @@
+"""Table 1: simulated processor configuration."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import table1
+
+
+def test_table1_config(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    save_artifact("table1", result.text())
+    labels = {row[0] for row in result.rows}
+    assert {"Pipeline width", "ROB / IQ / LQ / SQ", "L1D", "DRAM"} <= labels

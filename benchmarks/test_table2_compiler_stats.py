@@ -1,0 +1,16 @@
+"""Table 2: compiler-analysis statistics across SPEClite."""
+
+from conftest import save_artifact
+
+from repro.harness.experiments import table2
+
+
+def test_table2_compiler_stats(benchmark, scale):
+    result = benchmark.pedantic(table2.run, args=(scale,), rounds=1, iterations=1)
+    save_artifact("table2", result.text())
+    assert len(result.rows) == 14
+    for row in result.rows:
+        coverage = row[3]
+        assert 0.0 <= coverage <= 1.0
+        # Structured code reconverges almost everywhere.
+        assert coverage >= 0.9, f"{row[0]} coverage {coverage}"

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Tour of the design-choice ablations, narrated.
+
+1. Ablation A - erase the compiler metadata: Levioso collapses toward the
+   conservative baseline, isolating the *software* half of the co-design.
+2. Ablation C - bound the dependency-matrix width: how much tracking
+   hardware the *hardware* half actually needs.
+
+Run with:  python examples/ablation_tour.py
+"""
+
+from repro.harness.experiments import ablation_compiler, ablation_mask
+
+SUBSET = ("gather", "treewalk", "sandbox")
+
+
+def main() -> None:
+    print("== Ablation A: what the compiler metadata is worth ==\n")
+    result = ablation_compiler.run(scale="test", workloads=SUBSET)
+    print(result.text())
+    informed = result.extras["geomean_informed"]
+    blind = result.extras["geomean_blind"]
+    print(
+        f"\n  Erasing reconvergence PCs moves Levioso from "
+        f"{informed:.1%} to {blind:.1%} geomean overhead:\n"
+        "  without the compiler's dependency knowledge the hardware must\n"
+        "  treat every branch region as unbounded - the conservative design."
+    )
+
+    print("\n== Ablation C: how wide a dependency matrix is needed ==\n")
+    result = ablation_mask.run(
+        scale="test", widths=(4, 16, None), workloads=SUBSET
+    )
+    print(result.text())
+    series = dict(result.extras["series"])
+    print(
+        f"\n  A 16-entry matrix ({series['16']:.1%}) is already within "
+        f"noise of unbounded tracking ({series['unbounded']:.1%}):\n"
+        "  true-dependency sets are small once resolved branches retire\n"
+        "  from the tracker, so the hardware cost of Levioso is modest."
+    )
+
+
+if __name__ == "__main__":
+    main()

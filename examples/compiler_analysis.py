@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Inspect what the Levioso compiler pass sees in a program: CFGs,
+reconvergence points, control-dependence regions, and the dynamic
+restricted-instruction fractions behind the paper's motivation figure.
+
+Run with:  python examples/compiler_analysis.py
+"""
+
+from repro import assemble, run_program
+from repro.cfg import build_all_cfgs
+from repro.compiler import (
+    dynamic_dependence_stats,
+    run_levioso_pass,
+    static_stats,
+)
+
+SOURCE = """
+# A function with a diamond, a loop, and a call - enough structure to show
+# every analysis result.
+.data
+table: .dword 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+.text
+main:
+    la s0, table
+    li s1, 0            # acc
+    li s2, 0            # i
+    li s3, 16
+loop:
+    slli t0, s2, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    andi t2, t1, 1
+    beqz t2, even
+    call twice          # odd: acc += 2*v
+    j next
+even:
+    add s1, s1, t1      # even: acc += v
+next:
+    addi s2, s2, 1
+    bne s2, s3, loop
+    mv a0, s1
+    halt
+twice:
+    add t3, t1, t1
+    add s1, s1, t3
+    ret
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="demo")
+    info = run_levioso_pass(program)
+
+    print("== Control-flow graphs ==")
+    for cfg in build_all_cfgs(program):
+        print(f"  function {cfg.name} @ {cfg.entry_pc:#x}: "
+              f"{cfg.num_blocks} blocks, {len(cfg.edges())} edges")
+
+    print("\n== Branch reconvergence (what the compiler ships to hardware) ==")
+    for branch_pc, reconv in sorted(info.reconv_pc.items()):
+        region = info.control_dep_pcs[branch_pc]
+        where = f"{reconv:#x}" if reconv is not None else "(function exit)"
+        print(
+            f"  branch @ {branch_pc:#x}: reconverges @ {where}, "
+            f"{len(region)} control-dependent instruction(s)"
+        )
+
+    stats = static_stats(program)
+    print("\n== Static summary (one Table-2 row) ==")
+    print(f"  instructions:          {stats.static_instructions}")
+    print(f"  conditional branches:  {stats.static_branches}")
+    print(f"  reconvergence found:   {stats.reconvergence_coverage:.0%}")
+    print(f"  mean region size:      {stats.mean_region_size:.1f}")
+    print(f"  insts in some region:  {stats.frac_insts_in_any_region:.0%}")
+
+    trace = run_program(program, trace=True).trace
+    dyn = dynamic_dependence_stats(program, trace)
+    print("\n== Dynamic dependence (one Fig-1 bar) ==")
+    print(f"  dynamic instructions:     {dyn.dynamic_instructions}")
+    print(f"  conservatively restricted: {dyn.conservative_fraction:.1%}")
+    print(f"  truly dependent:           {dyn.true_fraction:.1%}")
+    print(f"  restriction reduction:     {dyn.reduction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

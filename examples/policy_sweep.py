@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Sweep every policy over a workload subset and print the overhead table —
+a miniature of the paper's Fig. 2, runnable in about a minute.
+
+Run with:  python examples/policy_sweep.py [workload ...]
+"""
+
+import sys
+
+from repro import ExperimentRunner, geomean
+from repro.harness import format_table
+from repro.secure import make_policy
+
+DEFAULT_WORKLOADS = ("gather", "pchase", "branchy", "treewalk", "sandbox")
+POLICIES = ("fence", "dom", "nda", "stt", "ctt", "levioso")
+
+
+def main() -> None:
+    workloads = tuple(sys.argv[1:]) or DEFAULT_WORKLOADS
+    runner = ExperimentRunner(scale="test")
+    rows = []
+    per_policy = {p: [] for p in POLICIES}
+    for name in workloads:
+        base = runner.run(name, "none")
+        row = [name, base.cycles]
+        for policy in POLICIES:
+            overhead = runner.overhead(name, policy)
+            per_policy[policy].append(overhead)
+            row.append(f"{100 * overhead:.1f}%")
+        rows.append(row)
+    gm_row = ["geomean", ""]
+    for policy in POLICIES:
+        gm_row.append(f"{100 * geomean(per_policy[policy]):.1f}%")
+    rows.append(gm_row)
+    print(format_table(["benchmark", "base cycles", *POLICIES], rows,
+                       title="Execution-time overhead vs unprotected core"))
+    print()
+    for policy in POLICIES:
+        print(f"  {policy:8s} - {make_policy(policy).describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, analyze it, run it on both simulators.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CoreConfig, OooCore, assemble, make_policy, run_levioso_pass, run_program
+
+SOURCE = """
+# Sum of the first 100 integers, with a small function call.
+.data
+result: .dword 0
+.text
+    li a0, 0            # sum
+    li a1, 1            # i
+    li a2, 101
+loop:
+    call add_one        # a0 += a1 via a helper, to show calls
+    addi a1, a1, 1
+    bne a1, a2, loop
+    la t0, result
+    sd a0, 0(t0)
+    halt
+add_one:
+    add a0, a0, a1
+    ret
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+
+    # 1. The compiler pass: branch reconvergence metadata.
+    info = run_levioso_pass(program)
+    print("== Levioso compiler pass ==")
+    for branch_pc, reconv in sorted(info.reconv_pc.items()):
+        where = f"{reconv:#x}" if reconv is not None else "(function exit)"
+        print(f"  branch @ {branch_pc:#x} reconverges @ {where}")
+
+    # 2. Golden model.
+    functional = run_program(program)
+    print("\n== Functional run ==")
+    print(f"  instructions: {functional.instructions}")
+    print(f"  a0 = {functional.state.read_reg(10)}")
+
+    # 3. Out-of-order core, unprotected vs Levioso.
+    print("\n== Out-of-order runs ==")
+    for policy_name in ("none", "fence", "levioso"):
+        core = OooCore(
+            program, config=CoreConfig(), policy=make_policy(policy_name)
+        )
+        result = core.run()
+        assert result.regs[10] == functional.state.read_reg(10)
+        print(
+            f"  {policy_name:8s} {result.cycles:6d} cycles  "
+            f"IPC {result.ipc:.2f}  gated loads {result.stats.loads_gated}"
+        )
+    print("\nArchitectural results identical under every policy — only timing moved.")
+
+
+if __name__ == "__main__":
+    main()

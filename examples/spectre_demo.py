@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Spectre end to end: leak a secret on the unprotected core, watch every
+defense block it — including an in-simulation flush+reload receiver that
+times its own probe loads with ``rdcycle``.
+
+Run with:  python examples/spectre_demo.py
+"""
+
+from repro import OooCore, assemble, make_policy
+from repro.attacks import PROBE_STRIDE, run_attack
+
+SECRET = 0x6B
+
+# A self-contained victim+receiver: the victim half is the classic
+# bounds-check-bypass gadget; the receiver half then *times* each probe
+# line with rdcycle (serializing cycle-counter reads) and stores the
+# latencies, exactly like user-space flush+reload code.
+TIMED_ATTACK = f"""
+.data
+array:
+    .zero 128
+.secret demo_secret
+secret:
+    .dword {SECRET}
+.public
+warm_neighbor:
+    .dword 0
+.align 6
+probe:
+    .zero {256 * PROBE_STRIDE}
+.align 6
+bound:
+    .dword 128
+.align 6
+idx_seq:
+    .dword 0, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128
+latencies:
+    .zero {256 * 8}
+.text
+    la s0, array
+    la s1, probe
+    la s2, idx_seq
+    la s3, bound
+    la t0, warm_neighbor
+    ld t1, 0(t0)          # the victim used its secret recently (line warm)
+    li s4, 0
+    li s5, 17
+attack_loop:
+    slli t0, s4, 3
+    add t0, s2, t0
+    ld s6, 0(t0)
+    cflush 0(s3)
+    fence
+    ld t1, 0(s3)
+    bgeu s6, t1, skip
+    add t2, s0, s6
+    lbu t3, 0(t2)
+    slli t4, t3, 6
+    add t5, s1, t4
+    lb t6, 0(t5)
+skip:
+    addi s4, s4, 1
+    bne s4, s5, attack_loop
+
+    # ---- receiver: time every probe slot with rdcycle ----
+    la s7, latencies
+    li s4, 0
+    li s5, 256
+recv_loop:
+    slli t0, s4, 6        # slot * 64
+    add t0, s1, t0
+    rdcycle s8
+    lb t1, 0(t0)
+    rdcycle s9
+    sub t2, s9, s8
+    slli t3, s4, 3
+    add t3, s7, t3
+    sd t2, 0(t3)
+    addi s4, s4, 1
+    bne s4, s5, recv_loop
+    halt
+"""
+
+
+def timed_receiver_demo() -> None:
+    print("== In-simulation flush+reload (unprotected core) ==")
+    program = assemble(TIMED_ATTACK, name="timed_attack")
+    result = OooCore(program, policy=make_policy("none")).run()
+    base = program.address_of("latencies")
+    lat = [result.memory.read_int(base + i * 8, 8) for i in range(256)]
+    # Slot 0 is training noise; find the fastest other slot.
+    candidates = sorted(range(1, 256), key=lambda i: lat[i])
+    fastest = candidates[0]
+    print(f"  planted secret:   {SECRET:#04x}")
+    print(f"  fastest slot:     {fastest:#04x}  ({lat[fastest]} cycles)")
+    print(f"  median latency:   {sorted(lat)[128]} cycles")
+    verdict = "RECOVERED" if fastest == SECRET else "missed"
+    print(f"  verdict:          {verdict}")
+
+
+def policy_matrix_demo() -> None:
+    print("\n== Attack x policy matrix (cache-presence receiver) ==")
+    print(f"  planted secret byte: {SECRET:#04x}\n")
+    attacks = ("spectre_v1", "spectre_v2", "spectre_v1_ct")
+    header = "  " + "policy".ljust(10) + "".join(a.rjust(15) for a in attacks)
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for policy in ("none", "stt", "nda", "dom", "fence", "ctt", "levioso"):
+        cells = []
+        for attack in attacks:
+            outcome = run_attack(attack, policy, secret=SECRET)
+            cells.append("LEAKED" if outcome.leaked else "blocked")
+        print("  " + policy.ljust(10) + "".join(c.rjust(15) for c in cells))
+    print(
+        "\n  stt and nda block the bounds-bypass (v1) but NOT the attacks on "
+        "non-speculatively loaded secrets (v2 via BTB injection, v1_ct via\n"
+        "  a poisoned conditional): expiring-taint and propagation-blocking "
+        "schemes cannot see architectural secrets. The comprehensive\n"
+        "  policies - including Levioso - block all three."
+    )
+
+
+if __name__ == "__main__":
+    timed_receiver_demo()
+    policy_matrix_demo()

@@ -1,0 +1,65 @@
+"""Levioso: Efficient Compiler-Informed Secure Speculation - reproduction.
+
+A full-system Python reproduction of the DAC 2024 paper: mini-RISC ISA and
+assembler, functional golden model, Levioso compiler analysis (branch
+reconvergence + control dependence), an out-of-order core with pluggable
+secure-speculation policies, Spectre attack gadgets, the SPEClite workload
+suite, and a harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import assemble, OooCore, make_policy
+
+    program = assemble('''
+    .text
+        li a0, 41
+        addi a0, a0, 1
+        halt
+    ''')
+    result = OooCore(program, policy=make_policy("levioso")).run()
+    print(result.regs[10], result.cycles)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .asm import Program, assemble, disassemble
+from .compiler import run_levioso_pass
+from .errors import ReproError
+from .functional import FunctionalSimulator, run_program
+from .harness import ExperimentRunner, geomean
+from .secure import (
+    ALL_POLICY_NAMES,
+    COMPREHENSIVE_POLICY_NAMES,
+    LeviosoPolicy,
+    SpeculationPolicy,
+    make_policy,
+)
+from .uarch import CoreConfig, OooCore, SimResult
+from .workloads import WORKLOAD_NAMES, build_suite, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICY_NAMES",
+    "COMPREHENSIVE_POLICY_NAMES",
+    "CoreConfig",
+    "ExperimentRunner",
+    "FunctionalSimulator",
+    "LeviosoPolicy",
+    "OooCore",
+    "Program",
+    "ReproError",
+    "SimResult",
+    "SpeculationPolicy",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "assemble",
+    "build_suite",
+    "build_workload",
+    "disassemble",
+    "geomean",
+    "make_policy",
+    "run_levioso_pass",
+    "run_program",
+]

@@ -1,0 +1,16 @@
+"""Assembler toolchain: source text -> :class:`Program` images."""
+
+from .assembler import Assembler, assemble
+from .disassembler import disassemble
+from .program import DATA_BASE, STACK_TOP, TEXT_BASE, Program, SecretRange
+
+__all__ = [
+    "Assembler",
+    "DATA_BASE",
+    "Program",
+    "STACK_TOP",
+    "SecretRange",
+    "TEXT_BASE",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,406 @@
+"""Two-pass assembler for the mini-RISC ISA.
+
+Pass 1 lays out both sections and builds the symbol table; pass 2 resolves
+operands and emits :class:`~repro.isa.Instruction` records and the data
+image.  Pseudo-instructions (``mv``, ``li``, ``la``, ``j``, ``call``, ``ret``,
+``beqz`` ...) expand 1:1 onto real opcodes, so source line <-> instruction
+mapping stays trivial, which the compiler pass and the disassembler rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import AssemblerError
+from ..isa import (
+    INSTRUCTION_BYTES,
+    MNEMONIC_TO_OPCODE,
+    Instruction,
+    Opcode,
+    OperandFormat,
+    parse_register,
+)
+from .parser import (
+    DirectiveStmt,
+    ExprOperand,
+    InstructionStmt,
+    LabelDef,
+    MemOperand,
+    Operand,
+    Statement,
+    StringOperand,
+    eval_expr,
+    parse_source,
+)
+from .program import DATA_BASE, TEXT_BASE, Program, SecretRange
+
+# Pseudo-instruction table: mnemonic -> (real opcode, operand rewriter).
+# Rewriters receive the parsed operand tuple and return the canonical
+# operand tuple for the real opcode's format.
+
+
+@dataclass
+class _PendingInst:
+    """An instruction statement after pass-1 layout, awaiting resolution."""
+
+    stmt: InstructionStmt
+    opcode: Opcode
+    operands: tuple[Operand, ...]
+    pc: int
+    label: str | None
+
+
+_DATA_DIRECTIVE_SIZES = {".byte": 1, ".half": 2, ".word": 4, ".dword": 8}
+_PACK_FMT = {1: "<b", 2: "<h", 4: "<i", 8: "<q"}
+_PACK_FMT_U = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+
+def _reg_of(operand: Operand, line: int) -> int:
+    """Interpret an operand as a register name."""
+    if isinstance(operand, ExprOperand):
+        expr = operand.expr
+        from .parser import SymExpr
+
+        if isinstance(expr, SymExpr):
+            return parse_register(expr.name)
+    raise AssemblerError("expected a register operand", line)
+
+
+class Assembler:
+    """Assembles mini-RISC source text into a :class:`Program`."""
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # ----------------------------------------------------------------- public
+    def assemble(self, source: str, name: str = "program") -> Program:
+        statements = parse_source(source)
+        pending, data, symbols, secrets, entry = self._pass1(statements)
+        instructions = [self._resolve(p, symbols) for p in pending]
+        return Program(
+            instructions=instructions,
+            data=bytes(data),
+            symbols=symbols,
+            secret_ranges=secrets,
+            text_base=self.text_base,
+            data_base=self.data_base,
+            entry=entry if entry is not None else self.text_base,
+            name=name,
+        )
+
+    # ----------------------------------------------------------------- pass 1
+    def _pass1(
+        self, statements: list[Statement]
+    ) -> tuple[list[_PendingInst], bytearray, dict[str, int], list[SecretRange], int | None]:
+        section = "text"
+        text_pc = self.text_base
+        data = bytearray()
+        symbols: dict[str, int] = {}
+        pending: list[_PendingInst] = []
+        secrets: list[SecretRange] = []
+        secret_open: tuple[int, str] | None = None  # (start offset, name)
+        entry_symbol: str | None = None
+        pending_label: str | None = None
+
+        def data_addr() -> int:
+            return self.data_base + len(data)
+
+        def define(name: str, value: int, line: int) -> None:
+            if name in symbols:
+                raise AssemblerError(f"duplicate symbol {name!r}", line)
+            symbols[name] = value
+
+        def close_secret() -> None:
+            nonlocal secret_open
+            if secret_open is not None:
+                start, sec_name = secret_open
+                secrets.append(
+                    SecretRange(self.data_base + start, data_addr(), sec_name)
+                )
+                secret_open = None
+
+        for stmt in statements:
+            if isinstance(stmt, LabelDef):
+                addr = text_pc if section == "text" else data_addr()
+                define(stmt.name, addr, stmt.line)
+                if section == "text":
+                    pending_label = stmt.name
+                continue
+
+            if isinstance(stmt, InstructionStmt):
+                if section != "text":
+                    raise AssemblerError(
+                        "instruction outside .text section", stmt.line
+                    )
+                opcode, operands = self._expand_pseudo(stmt)
+                pending.append(
+                    _PendingInst(stmt, opcode, operands, text_pc, pending_label)
+                )
+                pending_label = None
+                text_pc += INSTRUCTION_BYTES
+                continue
+
+            # Directive
+            name = stmt.name
+            line = stmt.line
+            if name == ".text":
+                close_secret()
+                section = "text"
+            elif name == ".data":
+                section = "data"
+            elif name == ".global":
+                pass  # single-image model: every symbol is already global
+            elif name == ".entry":
+                entry_symbol = self._one_symbol(stmt)
+            elif name == ".equ":
+                if len(stmt.operands) != 2:
+                    raise AssemblerError(".equ needs name, value", line)
+                sym = self._symbol_of(stmt.operands[0], line)
+                value = eval_expr(
+                    self._expr_of(stmt.operands[1], line), symbols, line
+                )
+                define(sym, value, line)
+            elif name in _DATA_DIRECTIVE_SIZES:
+                self._require_data(section, name, line)
+                size = _DATA_DIRECTIVE_SIZES[name]
+                for op in stmt.operands:
+                    value = eval_expr(self._expr_of(op, line), symbols, line)
+                    data.extend(_pack_datum(value, size, line))
+            elif name in (".zero", ".space"):
+                self._require_data(section, name, line)
+                count = eval_expr(
+                    self._expr_of(self._one_operand(stmt), line), symbols, line
+                )
+                if count < 0:
+                    raise AssemblerError(f"{name} with negative size", line)
+                data.extend(b"\x00" * count)
+            elif name in (".ascii", ".asciiz"):
+                self._require_data(section, name, line)
+                op = self._one_operand(stmt)
+                if not isinstance(op, StringOperand):
+                    raise AssemblerError(f"{name} needs a string literal", line)
+                data.extend(op.text.encode("utf-8"))
+                if name == ".asciiz":
+                    data.append(0)
+            elif name == ".align":
+                self._require_data(section, name, line)
+                power = eval_expr(
+                    self._expr_of(self._one_operand(stmt), line), symbols, line
+                )
+                alignment = 1 << power
+                while data_addr() % alignment:
+                    data.append(0)
+            elif name == ".secret":
+                self._require_data(section, name, line)
+                close_secret()
+                sec_name = ""
+                if stmt.operands:
+                    sec_name = self._symbol_of(stmt.operands[0], line)
+                secret_open = (len(data), sec_name)
+            elif name == ".public":
+                self._require_data(section, name, line)
+                close_secret()
+            else:
+                raise AssemblerError(f"unknown directive {name}", line)
+
+        close_secret()
+        entry = None
+        if entry_symbol is not None:
+            if entry_symbol not in symbols:
+                raise AssemblerError(f".entry references undefined {entry_symbol!r}")
+            entry = symbols[entry_symbol]
+        return pending, data, symbols, secrets, entry
+
+    # ----------------------------------------------------------------- pass 2
+    def _resolve(self, p: _PendingInst, symbols: dict[str, int]) -> Instruction:
+        op = p.opcode
+        fmt = op.fmt
+        ops = p.operands
+        line = p.stmt.line
+
+        def expr_value(operand: Operand) -> int:
+            return eval_expr(self._expr_of(operand, line), symbols, line)
+
+        rd = rs1 = rs2 = 0
+        imm = 0
+        try:
+            if op is Opcode.CFLUSH:
+                self._arity(ops, 1, op, line)
+                mem = ops[0]
+                if not isinstance(mem, MemOperand):
+                    raise AssemblerError("cflush needs an offset(base) operand", line)
+                rs1 = parse_register(mem.base)
+                imm = eval_expr(mem.offset, symbols, line)
+            elif op is Opcode.RDCYCLE:
+                self._arity(ops, 1, op, line)
+                rd = _reg_of(ops[0], line)
+            elif fmt is OperandFormat.R:
+                self._arity(ops, 3, op, line)
+                rd, rs1, rs2 = (_reg_of(o, line) for o in ops)
+            elif fmt is OperandFormat.I:
+                self._arity(ops, 3, op, line)
+                rd = _reg_of(ops[0], line)
+                rs1 = _reg_of(ops[1], line)
+                imm = expr_value(ops[2])
+            elif fmt is OperandFormat.LI:
+                self._arity(ops, 2, op, line)
+                rd = _reg_of(ops[0], line)
+                imm = expr_value(ops[1])
+            elif fmt is OperandFormat.MEM:
+                self._arity(ops, 2, op, line)
+                data_reg = _reg_of(ops[0], line)
+                mem = ops[1]
+                if not isinstance(mem, MemOperand):
+                    raise AssemblerError(
+                        f"{op.mnemonic} needs an offset(base) operand", line
+                    )
+                if op.is_load:
+                    rd = data_reg
+                else:
+                    rs2 = data_reg
+                rs1 = parse_register(mem.base)
+                imm = eval_expr(mem.offset, symbols, line)
+            elif fmt is OperandFormat.B:
+                self._arity(ops, 3, op, line)
+                rs1 = _reg_of(ops[0], line)
+                rs2 = _reg_of(ops[1], line)
+                imm = expr_value(ops[2])  # absolute target address
+            elif fmt is OperandFormat.J:
+                self._arity(ops, 2, op, line)
+                rd = _reg_of(ops[0], line)
+                imm = expr_value(ops[1])
+            elif fmt is OperandFormat.JR:
+                self._arity(ops, 3, op, line)
+                rd = _reg_of(ops[0], line)
+                rs1 = _reg_of(ops[1], line)
+                imm = expr_value(ops[2])
+            else:  # NONE
+                self._arity(ops, 0, op, line)
+        except AssemblerError:
+            raise
+        return Instruction(
+            opcode=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+            pc=p.pc, label=p.label, source_line=line,
+        )
+
+    # ------------------------------------------------------------ pseudo-ops
+    def _expand_pseudo(
+        self, stmt: InstructionStmt
+    ) -> tuple[Opcode, tuple[Operand, ...]]:
+        """Map a source mnemonic onto a real opcode + canonical operands."""
+        from .parser import NumExpr, SymExpr
+
+        def reg(name: str) -> Operand:
+            return ExprOperand(SymExpr(name))
+
+        def num(value: int) -> Operand:
+            return ExprOperand(NumExpr(value))
+
+        m = stmt.mnemonic
+        ops = stmt.operands
+        line = stmt.line
+
+        if m == "mv":
+            self._arity(ops, 2, m, line)
+            return Opcode.ADDI, (ops[0], ops[1], num(0))
+        if m == "la":
+            self._arity(ops, 2, m, line)
+            return Opcode.LI, ops
+        if m == "not":
+            self._arity(ops, 2, m, line)
+            return Opcode.XORI, (ops[0], ops[1], num(-1))
+        if m == "neg":
+            self._arity(ops, 2, m, line)
+            return Opcode.SUB, (ops[0], reg("zero"), ops[1])
+        if m in ("beqz", "bnez", "bltz", "bgez"):
+            self._arity(ops, 2, m, line)
+            real = {"beqz": Opcode.BEQ, "bnez": Opcode.BNE,
+                    "bltz": Opcode.BLT, "bgez": Opcode.BGE}[m]
+            return real, (ops[0], reg("zero"), ops[1])
+        if m in ("bgtz", "blez"):
+            self._arity(ops, 2, m, line)
+            real = Opcode.BLT if m == "bgtz" else Opcode.BGE
+            return real, (reg("zero"), ops[0], ops[1])
+        if m in ("ble", "bgt", "bleu", "bgtu"):
+            self._arity(ops, 3, m, line)
+            real = {"ble": Opcode.BGE, "bgt": Opcode.BLT,
+                    "bleu": Opcode.BGEU, "bgtu": Opcode.BLTU}[m]
+            return real, (ops[1], ops[0], ops[2])
+        if m == "j":
+            self._arity(ops, 1, m, line)
+            return Opcode.JAL, (reg("zero"), ops[0])
+        if m == "call":
+            self._arity(ops, 1, m, line)
+            return Opcode.JAL, (reg("ra"), ops[0])
+        if m == "jal" and len(ops) == 1:
+            return Opcode.JAL, (reg("ra"), ops[0])
+        if m == "jr":
+            self._arity(ops, 1, m, line)
+            return Opcode.JALR, (reg("zero"), ops[0], num(0))
+        if m == "ret":
+            self._arity(ops, 0, m, line)
+            return Opcode.JALR, (reg("zero"), reg("ra"), num(0))
+        if m == "jalr" and len(ops) == 1:
+            return Opcode.JALR, (reg("ra"), ops[0], num(0))
+
+        opcode = MNEMONIC_TO_OPCODE.get(m)
+        if opcode is None:
+            raise AssemblerError(f"unknown mnemonic {m!r}", line)
+        return opcode, ops
+
+    # -------------------------------------------------------------- utilities
+    @staticmethod
+    def _arity(ops: tuple, want: int, what, line: int) -> None:
+        if len(ops) != want:
+            name = what.mnemonic if isinstance(what, Opcode) else what
+            raise AssemblerError(
+                f"{name} expects {want} operand(s), got {len(ops)}", line
+            )
+
+    @staticmethod
+    def _require_data(section: str, directive: str, line: int) -> None:
+        if section != "data":
+            raise AssemblerError(f"{directive} outside .data section", line)
+
+    @staticmethod
+    def _expr_of(operand: Operand, line: int):
+        if isinstance(operand, ExprOperand):
+            return operand.expr
+        raise AssemblerError("expected an expression operand", line)
+
+    @staticmethod
+    def _symbol_of(operand: Operand, line: int) -> str:
+        from .parser import SymExpr
+
+        if isinstance(operand, ExprOperand) and isinstance(operand.expr, SymExpr):
+            return operand.expr.name
+        raise AssemblerError("expected a symbol operand", line)
+
+    def _one_operand(self, stmt: DirectiveStmt) -> Operand:
+        if len(stmt.operands) != 1:
+            raise AssemblerError(f"{stmt.name} expects one operand", stmt.line)
+        return stmt.operands[0]
+
+    def _one_symbol(self, stmt: DirectiveStmt) -> str:
+        return self._symbol_of(self._one_operand(stmt), stmt.line)
+
+
+def _pack_datum(value: int, size: int, line: int) -> bytes:
+    """Pack an integer into little-endian bytes, accepting both signdoms."""
+    try:
+        return struct.pack(_PACK_FMT[size], value)
+    except struct.error:
+        pass
+    try:
+        return struct.pack(_PACK_FMT_U[size], value)
+    except struct.error as exc:
+        raise AssemblerError(
+            f"value {value} does not fit in {size} byte(s)", line
+        ) from exc
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Convenience wrapper: assemble source text with default bases."""
+    return Assembler().assemble(source, name=name)

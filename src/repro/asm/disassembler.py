@@ -1,0 +1,50 @@
+"""Disassembler: render a :class:`Program` back to assembly text.
+
+The output round-trips through the assembler (modulo pseudo-instruction
+choice): labels are regenerated for every address that is a control-flow
+target or carries a symbol.
+"""
+
+from __future__ import annotations
+
+from ..isa import Instruction, Opcode, OperandFormat, register_name
+from .program import Program
+
+
+def _collect_labels(program: Program) -> dict[int, str]:
+    """Assign a label to every address referenced by control flow."""
+    labels: dict[int, str] = {}
+    for name, addr in program.symbols.items():
+        if program.text_base <= addr < program.text_end:
+            labels.setdefault(addr, name)
+    counter = 0
+    for inst in program.instructions:
+        if inst.is_branch or inst.opcode is Opcode.JAL:
+            target = inst.branch_target
+            if target not in labels:
+                labels[target] = f"L{counter}"
+                counter += 1
+    return labels
+
+
+def _render(inst: Instruction, labels: dict[int, str]) -> str:
+    op = inst.opcode
+    r = register_name
+    if op.fmt is OperandFormat.B:
+        target = labels.get(inst.branch_target, f"{inst.branch_target:#x}")
+        return f"{op.mnemonic} {r(inst.rs1)}, {r(inst.rs2)}, {target}"
+    if op.fmt is OperandFormat.J:
+        target = labels.get(inst.imm, f"{inst.imm:#x}")
+        return f"{op.mnemonic} {r(inst.rd)}, {target}"
+    return inst.text()
+
+
+def disassemble(program: Program) -> str:
+    """Produce assembly text for the program's text segment."""
+    labels = _collect_labels(program)
+    lines = [".text"]
+    for inst in program.instructions:
+        if inst.pc in labels:
+            lines.append(f"{labels[inst.pc]}:")
+        lines.append(f"    {_render(inst, labels)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,118 @@
+"""Line lexer for the mini-RISC assembly language.
+
+The grammar is line-oriented; the lexer turns one source line into a token
+list and strips comments (``#`` and ``//`` to end of line, ``;`` also accepted
+as a comment leader).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..errors import AssemblerError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"        # mnemonics, labels, symbols, register names
+    NUMBER = "number"      # integer literal (dec, hex, bin, char)
+    DIRECTIVE = "directive"  # .word, .text, ...
+    COMMA = "comma"
+    COLON = "colon"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    PLUS = "plus"
+    MINUS = "minus"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int = 0  # numeric payload for NUMBER tokens
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#.*|//.*|;.*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[0-9][0-9a-fA-FxXbo_]*|'\\?.')
+  | (?P<directive>\.[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<plus>\+)
+  | (?P<minus>-)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"', "r": "\r"}
+
+
+def _parse_number(text: str, line: int) -> int:
+    """Parse integer literals: 123, 0x1f, 0b101, 0o17, 1_000, 'a', '\\n'."""
+    if text.startswith("'"):
+        body = text[1:-1]
+        if body.startswith("\\"):
+            ch = _ESCAPES.get(body[1])
+            if ch is None:
+                raise AssemblerError(f"bad character escape {text}", line)
+            return ord(ch)
+        return ord(body)
+    try:
+        return int(text.replace("_", ""), 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad number literal {text!r}", line) from exc
+
+
+def _parse_string(text: str, line: int) -> str:
+    """Decode a quoted string literal with C-style escapes."""
+    body = text[1:-1]
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise AssemblerError("dangling escape in string", line)
+            esc = _ESCAPES.get(body[i])
+            if esc is None:
+                raise AssemblerError(f"bad string escape \\{body[i]}", line)
+            out.append(esc)
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def tokenize_line(source: str, line: int) -> list[Token]:
+    """Tokenize one source line.  Raises :class:`AssemblerError` on garbage."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise AssemblerError(f"unexpected character {source[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, _parse_number(text, line)))
+        elif kind == "string":
+            tokens.append(Token(TokenKind.STRING, _parse_string(text, line)))
+        elif kind == "directive":
+            tokens.append(Token(TokenKind.DIRECTIVE, text.lower()))
+        elif kind == "ident":
+            tokens.append(Token(TokenKind.IDENT, text))
+        else:
+            tokens.append(Token(TokenKind[kind.upper()], text))
+    return tokens

@@ -1,0 +1,133 @@
+"""The :class:`Program` image produced by the assembler.
+
+A program bundles the instruction stream, the initial data image, the symbol
+table, secret-data annotations (for the constant-time threat model) and —
+after the Levioso compiler pass has run — the branch-dependency metadata the
+hardware consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import SimulationError
+from ..isa import INSTRUCTION_BYTES, Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..compiler.branch_deps import BranchDependencyInfo
+
+TEXT_BASE = 0x1000
+"""Default base address of the instruction stream."""
+
+DATA_BASE = 0x100000
+"""Default base address of the data segment."""
+
+STACK_TOP = 0x800000
+"""Initial stack pointer handed to simulated programs."""
+
+
+@dataclass(frozen=True)
+class SecretRange:
+    """A byte range of the data segment holding secret data.
+
+    Under the comprehensive threat model, values loaded from these ranges are
+    secrets even when loaded non-speculatively (the constant-time programming
+    model), and must never reach a transmitter while execution is
+    policy-speculative.
+    """
+
+    start: int
+    end: int  # exclusive
+    name: str = ""
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return address < self.end and address + size > self.start
+
+
+@dataclass
+class Program:
+    """An assembled, executable program image."""
+
+    instructions: list[Instruction]
+    data: bytes = b""
+    symbols: dict[str, int] = field(default_factory=dict)
+    secret_ranges: list[SecretRange] = field(default_factory=list)
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    entry: int | None = None
+    name: str = "program"
+    analysis: "BranchDependencyInfo | None" = None
+
+    def __post_init__(self) -> None:
+        self._by_pc = {inst.pc: inst for inst in self.instructions}
+        if self.entry is None:
+            self.entry = self.text_base
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def text_end(self) -> int:
+        """One past the last instruction address."""
+        return self.text_base + len(self.instructions) * INSTRUCTION_BYTES
+
+    def inst_at(self, pc: int) -> Instruction:
+        """Fetch the instruction at ``pc``; raises on wild PCs."""
+        inst = self._by_pc.get(pc)
+        if inst is None:
+            raise SimulationError(f"fetch from non-text address {pc:#x}")
+        return inst
+
+    def try_inst_at(self, pc: int) -> Instruction | None:
+        """Like :meth:`inst_at` but returns None off the text segment.
+
+        The out-of-order front end uses this: wrong-path fetch may run off
+        the end of the program and must not crash the simulation.
+        """
+        return self._by_pc.get(pc)
+
+    def index_of(self, pc: int) -> int:
+        """Position of ``pc`` in the instruction list."""
+        return (pc - self.text_base) // INSTRUCTION_BYTES
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, symbol: str) -> int:
+        """Resolve a symbol to its address."""
+        if symbol not in self.symbols:
+            raise SimulationError(f"unknown symbol {symbol!r}")
+        return self.symbols[symbol]
+
+    def is_secret_address(self, address: int, size: int = 1) -> bool:
+        """Does ``[address, address+size)`` overlap any secret range?"""
+        return any(r.contains(address, size) for r in self.secret_ranges)
+
+    # ------------------------------------------------------------ statistics
+    def static_counts(self) -> dict[str, int]:
+        """Static instruction-mix summary used by compiler-stats reports."""
+        counts = {"total": len(self.instructions), "loads": 0, "stores": 0,
+                  "branches": 0, "jumps": 0}
+        for inst in self.instructions:
+            if inst.is_load:
+                counts["loads"] += 1
+            elif inst.is_store:
+                counts["stores"] += 1
+            elif inst.is_branch:
+                counts["branches"] += 1
+            elif inst.is_jump:
+                counts["jumps"] += 1
+        return counts
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing of the text segment."""
+        lines = []
+        label_at = {addr: name for name, addr in self.symbols.items()
+                    if self.text_base <= addr < self.text_end}
+        for inst in self.instructions:
+            if inst.pc in label_at:
+                lines.append(f"{label_at[inst.pc]}:")
+            lines.append(f"    {inst}")
+        return "\n".join(lines)

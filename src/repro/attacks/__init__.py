@@ -1,0 +1,20 @@
+"""Spectre attacks and the cache covert channel (security evaluation)."""
+
+from .channel import PROBE_SLOTS, PROBE_STRIDE, ChannelReading, read_probe_array
+from .gadgets import spectre_v1, spectre_v1_ct, spectre_v2
+from .scoring import ATTACKS, AttackOutcome, leak_rate, run_attack, security_matrix
+
+__all__ = [
+    "ATTACKS",
+    "AttackOutcome",
+    "ChannelReading",
+    "PROBE_SLOTS",
+    "PROBE_STRIDE",
+    "leak_rate",
+    "read_probe_array",
+    "run_attack",
+    "security_matrix",
+    "spectre_v1",
+    "spectre_v1_ct",
+    "spectre_v2",
+]

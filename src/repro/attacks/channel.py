@@ -1,0 +1,53 @@
+"""Cache covert-channel receiver.
+
+The transmitter side is victim code touching ``probe[value * STRIDE]``; the
+receiver inspects which probe line became resident after the run — the
+simulator-level equivalent of the flush+reload timing loop (our cache model
+is presence-exact, see DESIGN.md).  An in-simulation timing receiver using
+``rdcycle`` is demonstrated in ``examples/spectre_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program
+from ..mem.hierarchy import MemoryHierarchy
+
+PROBE_SLOTS = 256
+PROBE_STRIDE = 64  # one cache line per encodable value
+
+
+@dataclass
+class ChannelReading:
+    """Which probe slots were found resident after a victim run."""
+
+    hot_slots: list[int]
+
+    @property
+    def recovered_value(self) -> int | None:
+        """The transmitted byte, if exactly one non-zero slot lit up.
+
+        Slot 0 is excluded: training accesses legitimately touch it.
+        """
+        nonzero = [s for s in self.hot_slots if s != 0]
+        if len(nonzero) == 1:
+            return nonzero[0]
+        return None
+
+    @property
+    def leaked(self) -> bool:
+        return self.recovered_value is not None
+
+
+def read_probe_array(
+    hierarchy: MemoryHierarchy, program: Program, symbol: str = "probe"
+) -> ChannelReading:
+    """Scan the probe array for resident lines (the receiver)."""
+    base = program.address_of(symbol)
+    hot = [
+        slot
+        for slot in range(PROBE_SLOTS)
+        if hierarchy.probe_level(base + slot * PROBE_STRIDE) is not None
+    ]
+    return ChannelReading(hot_slots=hot)

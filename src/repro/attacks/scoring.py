@@ -1,0 +1,79 @@
+"""Attack evaluation harness (Fig. 5 data).
+
+Runs a gadget under every policy and scores whether the planted secret was
+recovered from the cache covert channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..asm.program import Program
+from ..secure import make_policy
+from ..uarch import CoreConfig, OooCore
+from .channel import ChannelReading, read_probe_array
+from .gadgets import spectre_v1, spectre_v1_ct, spectre_v2
+
+ATTACKS: dict[str, Callable[[int], Program]] = {
+    "spectre_v1": spectre_v1,
+    "spectre_v2": spectre_v2,
+    "spectre_v1_ct": spectre_v1_ct,
+}
+
+
+@dataclass
+class AttackOutcome:
+    """One (attack, policy) cell of the security matrix."""
+
+    attack: str
+    policy: str
+    secret: int
+    reading: ChannelReading
+
+    @property
+    def leaked(self) -> bool:
+        return self.reading.recovered_value == self.secret
+
+    @property
+    def verdict(self) -> str:
+        return "LEAKED" if self.leaked else "blocked"
+
+
+def run_attack(
+    attack: str,
+    policy: str,
+    secret: int = 0x5A,
+    config: CoreConfig | None = None,
+) -> AttackOutcome:
+    """Execute one attack under one policy and read the channel."""
+    if attack not in ATTACKS:
+        raise KeyError(f"unknown attack {attack!r}; know {sorted(ATTACKS)}")
+    program = ATTACKS[attack](secret)
+    core = OooCore(program, config=config, policy=make_policy(policy))
+    result = core.run()
+    reading = read_probe_array(result.hierarchy, program)
+    return AttackOutcome(attack=attack, policy=policy, secret=secret, reading=reading)
+
+
+def security_matrix(
+    policies: tuple[str, ...],
+    secrets: tuple[int, ...] = (0x5A, 0xA7, 0x11),
+    config: CoreConfig | None = None,
+) -> dict[tuple[str, str], list[AttackOutcome]]:
+    """Full attack x policy matrix, several secrets per cell."""
+    matrix: dict[tuple[str, str], list[AttackOutcome]] = {}
+    for attack in ATTACKS:
+        for policy in policies:
+            outcomes = [
+                run_attack(attack, policy, secret=s, config=config) for s in secrets
+            ]
+            matrix[(attack, policy)] = outcomes
+    return matrix
+
+
+def leak_rate(outcomes: list[AttackOutcome]) -> float:
+    """Fraction of trials that recovered the planted secret."""
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o.leaked) / len(outcomes)

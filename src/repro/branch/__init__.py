@@ -1,0 +1,46 @@
+"""Branch prediction: direction predictors, BTB, return-address stack."""
+
+from .bimodal import BimodalPredictor
+from .gshare import GsharePredictor
+from .predictor import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BranchTargetBuffer,
+    DirectionPredictor,
+    ReturnAddressStack,
+    SaturatingCounter,
+)
+from .tage import TagePredictor
+from .tournament import TournamentPredictor
+
+PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "tournament": TournamentPredictor,
+    "tage": TagePredictor,
+    "always_taken": AlwaysTaken,
+    "always_not_taken": AlwaysNotTaken,
+}
+
+
+def make_predictor(name: str, **kwargs) -> DirectionPredictor:
+    """Instantiate a direction predictor by registry name."""
+    if name not in PREDICTORS:
+        raise ValueError(f"unknown predictor {name!r}; know {sorted(PREDICTORS)}")
+    return PREDICTORS[name](**kwargs)
+
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "PREDICTORS",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+    "TagePredictor",
+    "TournamentPredictor",
+    "make_predictor",
+]

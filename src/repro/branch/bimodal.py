@@ -1,0 +1,23 @@
+"""Bimodal (PC-indexed 2-bit counter) direction predictor."""
+
+from __future__ import annotations
+
+from .predictor import DirectionPredictor, SaturatingCounter
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic per-PC 2-bit saturating-counter predictor.
+
+    History-free, so its training context is empty.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 4096):
+        self._counters = SaturatingCounter(entries)
+
+    def predict(self, pc: int) -> tuple[bool, object]:
+        return self._counters.predict(pc >> 2), None
+
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        self._counters.update(pc >> 2, taken)

@@ -1,0 +1,43 @@
+"""Gshare direction predictor (global history XOR PC)."""
+
+from __future__ import annotations
+
+from .predictor import DirectionPredictor, SaturatingCounter
+
+
+class GsharePredictor(DirectionPredictor):
+    """Gshare with a speculative global-history register.
+
+    The history register advances at *fetch* with the predicted direction
+    (``on_speculative_branch``) and is repaired from a checkpoint on squash.
+    The prediction context carries the fetch-time table index so training at
+    resolve time hits the row that produced the prediction.
+    """
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        self._counters = SaturatingCounter(entries)
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> tuple[bool, object]:
+        index = self._index(pc)
+        return self._counters.predict(index), index
+
+    def on_speculative_branch(self, pc: int, predicted_taken: bool) -> None:
+        self._history = ((self._history << 1) | int(predicted_taken)) & self._history_mask
+
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        index = context if context is not None else self._index(pc)
+        self._counters.update(index, taken)
+
+    def history_checkpoint(self) -> int:
+        return self._history
+
+    def history_restore(self, checkpoint: int) -> None:
+        self._history = checkpoint

@@ -1,0 +1,158 @@
+"""Branch-prediction framework: direction predictors, BTB, RAS.
+
+The out-of-order front end asks three questions every fetch cycle:
+
+1. *direction* of a conditional branch (:class:`DirectionPredictor`),
+2. *target* of an indirect jump (:class:`BranchTargetBuffer`),
+3. *return address* of a ``ret`` (:class:`ReturnAddressStack`).
+
+Direction predictors keep their tables non-speculative (trained at resolve
+time); the global-history predictors additionally keep a *speculative*
+history register that the core checkpoints and restores on squash, which is
+how real front ends behave.
+"""
+
+from __future__ import annotations
+
+import abc
+
+_COUNTER_MAX = 3  # 2-bit saturating counters
+_TAKEN_THRESHOLD = 2
+
+
+class SaturatingCounter:
+    """Table of 2-bit saturating counters, the workhorse of all predictors."""
+
+    def __init__(self, entries: int, initial: int = 1):
+        if entries & (entries - 1):
+            raise ValueError("counter table size must be a power of two")
+        self._mask = entries - 1
+        self._table = [initial] * entries
+
+    def predict(self, index: int) -> bool:
+        return self._table[index & self._mask] >= _TAKEN_THRESHOLD
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self._mask
+        value = self._table[i]
+        if taken:
+            if value < _COUNTER_MAX:
+                self._table[i] = value + 1
+        elif value > 0:
+            self._table[i] = value - 1
+
+    def counter(self, index: int) -> int:
+        return self._table[index & self._mask]
+
+
+class DirectionPredictor(abc.ABC):
+    """Interface every conditional-branch direction predictor implements.
+
+    ``predict`` returns ``(direction, context)``.  The context captures
+    whatever fetch-time state (history, table indices) the predictor needs
+    to train the *right* entries at resolve time — by then the speculative
+    history register has moved on, so training from current state would hit
+    the wrong rows (the classic gshare update-skew bug).
+    """
+
+    name = "base"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> tuple[bool, object]:
+        """Predicted direction + opaque training context for ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        """Train with the resolved outcome using the fetch-time context."""
+
+    # Global-history hooks; table-only predictors ignore them. ------------
+    def on_speculative_branch(self, pc: int, predicted_taken: bool) -> None:
+        """Called at fetch when a branch enters the pipeline."""
+
+    def history_checkpoint(self) -> int:
+        """Opaque speculative-history snapshot (restored on squash)."""
+        return 0
+
+    def history_restore(self, checkpoint: int) -> None:
+        """Restore a snapshot taken by :meth:`history_checkpoint`."""
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB with partial tags; predicts indirect-jump targets."""
+
+    def __init__(self, entries: int = 1024):
+        if entries & (entries - 1):
+            raise ValueError("BTB size must be a power of two")
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self._targets: list[int] = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> int | None:
+        i = self._index(pc)
+        if self._tags[i] == pc:
+            self.hits += 1
+            return self._targets[i]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        i = self._index(pc)
+        self._tags[i] = pc
+        self._targets[i] = target
+
+
+class ReturnAddressStack:
+    """Bounded return-address stack operated speculatively at fetch.
+
+    The core snapshots/restores it around control speculation; snapshots are
+    cheap tuples because the stack depth is small.
+    """
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) == self.depth:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def checkpoint(self) -> tuple[int, ...]:
+        return tuple(self._stack)
+
+    def restore(self, checkpoint: tuple[int, ...]) -> None:
+        self._stack = list(checkpoint)
+
+
+class AlwaysTaken(DirectionPredictor):
+    """Degenerate predictor, useful in unit tests."""
+
+    name = "always_taken"
+
+    def predict(self, pc: int) -> tuple[bool, object]:
+        return True, None
+
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        pass
+
+
+class AlwaysNotTaken(DirectionPredictor):
+    """Degenerate predictor, useful in unit tests."""
+
+    name = "always_not_taken"
+
+    def predict(self, pc: int) -> tuple[bool, object]:
+        return False, None
+
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        pass

@@ -1,0 +1,55 @@
+"""Tournament predictor: bimodal vs gshare with a chooser table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bimodal import BimodalPredictor
+from .gshare import GsharePredictor
+from .predictor import DirectionPredictor, SaturatingCounter
+
+
+@dataclass(frozen=True)
+class _TournamentContext:
+    bimodal_pred: bool
+    gshare_pred: bool
+    gshare_ctx: object
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Alpha-21264-style hybrid.
+
+    The chooser counter trains toward whichever component was correct when
+    they disagreed at fetch time (captured in the prediction context).
+    """
+
+    name = "tournament"
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        self._bimodal = BimodalPredictor(entries)
+        self._gshare = GsharePredictor(entries, history_bits)
+        self._chooser = SaturatingCounter(entries)  # >=2 -> use gshare
+
+    def predict(self, pc: int) -> tuple[bool, object]:
+        bimodal_pred, _ = self._bimodal.predict(pc)
+        gshare_pred, gshare_ctx = self._gshare.predict(pc)
+        chosen = gshare_pred if self._chooser.predict(pc >> 2) else bimodal_pred
+        return chosen, _TournamentContext(bimodal_pred, gshare_pred, gshare_ctx)
+
+    def on_speculative_branch(self, pc: int, predicted_taken: bool) -> None:
+        self._gshare.on_speculative_branch(pc, predicted_taken)
+
+    def update(self, pc: int, taken: bool, context: object = None) -> None:
+        if isinstance(context, _TournamentContext):
+            if context.bimodal_pred != context.gshare_pred:
+                self._chooser.update(pc >> 2, context.gshare_pred == taken)
+            self._gshare.update(pc, taken, context.gshare_ctx)
+        else:
+            self._gshare.update(pc, taken)
+        self._bimodal.update(pc, taken)
+
+    def history_checkpoint(self) -> int:
+        return self._gshare.history_checkpoint()
+
+    def history_restore(self, checkpoint: int) -> None:
+        self._gshare.history_restore(checkpoint)

@@ -1,0 +1,22 @@
+"""Control-flow graph construction and graph analyses."""
+
+from .basic_block import EXIT_BLOCK, BasicBlock, FunctionCFG
+from .builder import build_all_cfgs, build_function_cfg, find_function_entries
+from .dom import DominatorInfo, PostDominatorInfo, compute_idoms
+from .loops import NaturalLoop, find_back_edges, find_natural_loops, loop_depth_of_blocks
+
+__all__ = [
+    "BasicBlock",
+    "DominatorInfo",
+    "EXIT_BLOCK",
+    "FunctionCFG",
+    "NaturalLoop",
+    "PostDominatorInfo",
+    "build_all_cfgs",
+    "build_function_cfg",
+    "compute_idoms",
+    "find_back_edges",
+    "find_function_entries",
+    "find_natural_loops",
+    "loop_depth_of_blocks",
+]

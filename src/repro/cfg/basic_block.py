@@ -1,0 +1,92 @@
+"""Basic blocks and per-function control-flow graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Instruction
+
+EXIT_BLOCK = -1
+"""Virtual exit node id used by the post-dominator analysis.
+
+Return instructions, ``halt`` and indirect jumps with unknown targets edge
+to this node.
+"""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        bid: dense block id within its function's CFG.
+        instructions: the block body in program order.
+        successors: block ids (may include :data:`EXIT_BLOCK`).
+        predecessors: block ids.
+    """
+
+    bid: int
+    instructions: list[Instruction]
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def start_pc(self) -> int:
+        return self.instructions[0].pc
+
+    @property
+    def end_pc(self) -> int:
+        """PC of the last instruction (the terminator if control flow)."""
+        return self.instructions[-1].pc
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicBlock(bid={self.bid}, pcs={self.start_pc:#x}..{self.end_pc:#x}, "
+            f"succ={self.successors})"
+        )
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow graph of one function.
+
+    Block 0 is always the entry block.  Edges to :data:`EXIT_BLOCK` represent
+    function exit (return, halt, unanalyzable indirect jump).
+    """
+
+    name: str
+    entry_pc: int
+    blocks: list[BasicBlock]
+    block_of_pc: dict[int, int]
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block containing instruction ``pc``."""
+        return self.blocks[self.block_of_pc[pc]]
+
+    def conditional_branches(self) -> list[Instruction]:
+        """All conditional-branch instructions in this function."""
+        return [
+            inst
+            for block in self.blocks
+            for inst in block.instructions
+            if inst.is_branch
+        ]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (src, dst) edges, including edges to EXIT_BLOCK."""
+        out = []
+        for block in self.blocks:
+            for succ in block.successors:
+                out.append((block.bid, succ))
+        return out

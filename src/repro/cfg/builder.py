@@ -1,0 +1,146 @@
+"""CFG construction from assembled programs.
+
+The analysis is intraprocedural, mirroring the paper's compiler pass:
+
+* **Function discovery** — a function entry is the program entry point or the
+  target of any ``jal`` with a link register (``rd != x0``; the assembler's
+  ``call`` pseudo-op).  ``jal x0, target`` (the ``j`` pseudo-op) is an
+  intra-function jump.
+* **Call edges** — a call falls through to its return address; the callee is
+  analysed separately.
+* **Exits** — ``jalr`` (returns and indirect jumps), ``halt`` and running off
+  analysed code edge to the virtual :data:`~repro.cfg.basic_block.EXIT_BLOCK`.
+  Indirect jumps are conservative exits: branches before them never
+  reconverge, exactly as a production compiler must assume.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..isa import INSTRUCTION_BYTES, Instruction, Opcode
+from .basic_block import EXIT_BLOCK, BasicBlock, FunctionCFG
+
+
+def _is_call(inst: Instruction) -> bool:
+    return inst.opcode is Opcode.JAL and inst.rd != 0
+
+
+def _is_intra_jump(inst: Instruction) -> bool:
+    return inst.opcode is Opcode.JAL and inst.rd == 0
+
+
+def find_function_entries(program: Program) -> list[int]:
+    """Entry PCs of all functions: program entry + every call target."""
+    entries = {program.entry}
+    for inst in program.instructions:
+        if _is_call(inst):
+            entries.add(inst.imm)
+    return sorted(entries)
+
+
+def _function_pcs(program: Program, entry: int) -> set[int]:
+    """Instruction PCs intraprocedurally reachable from ``entry``."""
+    seen: set[int] = set()
+    work = [entry]
+    while work:
+        pc = work.pop()
+        if pc in seen:
+            continue
+        inst = program.try_inst_at(pc)
+        if inst is None:
+            continue  # fell off the text segment: treated as exit
+        seen.add(pc)
+        op = inst.opcode
+        if op is Opcode.HALT or op is Opcode.JALR:
+            continue  # function exit (return / indirect jump)
+        if _is_intra_jump(inst):
+            work.append(inst.imm)
+            continue
+        if inst.is_branch:
+            work.append(inst.branch_target)
+        # calls, branches (not-taken) and straight-line code fall through
+        work.append(pc + INSTRUCTION_BYTES)
+    return seen
+
+
+def build_function_cfg(program: Program, entry: int, name: str = "") -> FunctionCFG:
+    """Build the CFG of the function whose entry is ``entry``."""
+    pcs = _function_pcs(program, entry)
+
+    # Leaders: entry, control-flow targets, and fallthroughs of terminators.
+    leaders = {entry}
+    for pc in pcs:
+        inst = program.inst_at(pc)
+        if inst.is_branch:
+            leaders.add(inst.branch_target)
+            leaders.add(pc + INSTRUCTION_BYTES)
+        elif _is_intra_jump(inst):
+            leaders.add(inst.imm)
+        elif inst.opcode in (Opcode.JALR, Opcode.HALT):
+            fall = pc + INSTRUCTION_BYTES
+            if fall in pcs:
+                leaders.add(fall)
+    leaders &= pcs
+
+    # Carve blocks out of the sorted PC list.
+    ordered = sorted(pcs)
+    blocks: list[BasicBlock] = []
+    block_of_pc: dict[int, int] = {}
+    current: list[Instruction] = []
+
+    def finish() -> None:
+        if current:
+            bid = len(blocks)
+            blocks.append(BasicBlock(bid, list(current)))
+            for inst in current:
+                block_of_pc[inst.pc] = bid
+            current.clear()
+
+    for i, pc in enumerate(ordered):
+        inst = program.inst_at(pc)
+        if pc in leaders:
+            finish()
+        current.append(inst)
+        next_pc = ordered[i + 1] if i + 1 < len(ordered) else None
+        ends_block = (
+            inst.is_branch
+            or _is_intra_jump(inst)
+            or inst.opcode in (Opcode.JALR, Opcode.HALT)
+            or next_pc != pc + INSTRUCTION_BYTES  # discontiguous region
+        )
+        if ends_block:
+            finish()
+    finish()
+
+    # Wire edges.
+    for block in blocks:
+        term = block.terminator
+        succ: list[int] = []
+        if term.is_branch:
+            taken = block_of_pc.get(term.branch_target, EXIT_BLOCK)
+            fall = block_of_pc.get(term.fallthrough, EXIT_BLOCK)
+            succ = [taken, fall]
+        elif _is_intra_jump(term):
+            succ = [block_of_pc.get(term.imm, EXIT_BLOCK)]
+        elif term.opcode in (Opcode.JALR, Opcode.HALT):
+            succ = [EXIT_BLOCK]
+        else:
+            # straight-line block boundary (leader split or call fallthrough)
+            succ = [block_of_pc.get(term.fallthrough, EXIT_BLOCK)]
+        block.successors = succ
+    for block in blocks:
+        for s in block.successors:
+            if s != EXIT_BLOCK:
+                blocks[s].predecessors.append(block.bid)
+
+    if not name:
+        label_names = {
+            addr: sym for sym, addr in program.symbols.items()
+        }
+        name = label_names.get(entry, f"func_{entry:#x}")
+    return FunctionCFG(name=name, entry_pc=entry, blocks=blocks, block_of_pc=block_of_pc)
+
+
+def build_all_cfgs(program: Program) -> list[FunctionCFG]:
+    """Build the CFG of every function in the program."""
+    return [build_function_cfg(program, entry) for entry in find_function_entries(program)]

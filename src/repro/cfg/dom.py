@@ -1,0 +1,152 @@
+"""Dominator and post-dominator analysis.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm") over a generic successor map, then instantiates it for
+dominators and — on the reversed CFG with the virtual exit as root — for
+post-dominators.  The *immediate post-dominator of a branch block* is the
+branch's **reconvergence point**, the object at the heart of Levioso's
+compiler analysis.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from .basic_block import EXIT_BLOCK, FunctionCFG
+
+Node = int
+
+
+def _reverse_postorder(root: Node, succs: dict[Node, list[Node]]) -> list[Node]:
+    """Reverse post-order over the graph reachable from ``root``.
+
+    Iterative DFS so pathological CFGs cannot overflow Python's stack.
+    """
+    order: list[Node] = []
+    visited: set[Node] = set()
+    # stack holds (node, iterator over successors)
+    stack: list[tuple[Node, int]] = [(root, 0)]
+    visited.add(root)
+    while stack:
+        node, idx = stack[-1]
+        children = succs.get(node, [])
+        if idx < len(children):
+            stack[-1] = (node, idx + 1)
+            child = children[idx]
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def compute_idoms(root: Node, succs: dict[Node, list[Node]]) -> dict[Node, Node]:
+    """Immediate dominators for every node reachable from ``root``.
+
+    Returns a map ``node -> idom``; the root maps to itself.
+    """
+    rpo = _reverse_postorder(root, succs)
+    index = {node: i for i, node in enumerate(rpo)}
+    preds: dict[Node, list[Node]] = {node: [] for node in rpo}
+    for node in rpo:
+        for succ in succs.get(node, []):
+            if succ in index:
+                preds[succ].append(node)
+
+    idom: dict[Node, Node] = {root: root}
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+class DominatorInfo:
+    """Dominator tree of a :class:`FunctionCFG`."""
+
+    def __init__(self, cfg: FunctionCFG):
+        self.cfg = cfg
+        root = cfg.block_of_pc[cfg.entry_pc]
+        succs = {b.bid: [s for s in b.successors if s != EXIT_BLOCK] for b in cfg.blocks}
+        self.root = root
+        self.idom = compute_idoms(root, succs)
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """Does block ``a`` dominate block ``b``?"""
+        if b not in self.idom:
+            raise AnalysisError(f"block {b} unreachable from entry")
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+
+class PostDominatorInfo:
+    """Post-dominator tree, rooted at the virtual exit node.
+
+    Every block with no intra-function successors (returns, halt, indirect
+    jumps) edges to :data:`EXIT_BLOCK`; the analysis runs on the reversed
+    graph from that node.  Blocks that cannot reach the exit (infinite
+    loops) have no post-dominator and report ``None``.
+    """
+
+    def __init__(self, cfg: FunctionCFG):
+        self.cfg = cfg
+        # Reversed graph: successors of N are N's CFG predecessors.
+        rsuccs: dict[Node, list[Node]] = {EXIT_BLOCK: []}
+        for block in cfg.blocks:
+            rsuccs.setdefault(block.bid, [])
+        for block in cfg.blocks:
+            for succ in block.successors:
+                rsuccs.setdefault(succ, []).append(block.bid)
+        self.ipdom = compute_idoms(EXIT_BLOCK, rsuccs)
+
+    def immediate_postdominator(self, bid: Node) -> Node | None:
+        """The ipdom block of ``bid``.
+
+        Returns :data:`EXIT_BLOCK` when the only post-dominator is the
+        function exit, and None when the block cannot reach the exit at all.
+        """
+        if bid not in self.ipdom:
+            return None
+        parent = self.ipdom[bid]
+        return parent
+
+    def postdominates(self, a: Node, b: Node) -> bool:
+        """Does ``a`` post-dominate ``b``?"""
+        if b not in self.ipdom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.ipdom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent

@@ -1,0 +1,66 @@
+"""Natural-loop detection (back edges via dominators).
+
+Used by compiler statistics (loop depth per branch) and by workload-suite
+reports; the Levioso pass itself needs only post-dominators, but loop
+structure is what makes its reconvergence behaviour interesting, so the
+analysis is part of the toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .basic_block import EXIT_BLOCK, FunctionCFG
+from .dom import DominatorInfo
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: header block + body block set."""
+
+    header: int
+    body: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def find_back_edges(cfg: FunctionCFG, dom: DominatorInfo) -> list[tuple[int, int]]:
+    """Edges (tail -> header) where header dominates tail."""
+    edges = []
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ == EXIT_BLOCK or succ not in dom.idom or block.bid not in dom.idom:
+                continue
+            if dom.dominates(succ, block.bid):
+                edges.append((block.bid, succ))
+    return edges
+
+
+def find_natural_loops(cfg: FunctionCFG, dom: DominatorInfo | None = None) -> list[NaturalLoop]:
+    """All natural loops, one per header (bodies of shared headers merged)."""
+    if dom is None:
+        dom = DominatorInfo(cfg)
+    loops: dict[int, NaturalLoop] = {}
+    for tail, header in find_back_edges(cfg, dom):
+        loop = loops.setdefault(header, NaturalLoop(header, {header}))
+        # Walk predecessors backwards from the tail until the header.
+        work = [tail]
+        while work:
+            node = work.pop()
+            if node in loop.body:
+                continue
+            loop.body.add(node)
+            work.extend(cfg.blocks[node].predecessors)
+    return list(loops.values())
+
+
+def loop_depth_of_blocks(cfg: FunctionCFG) -> dict[int, int]:
+    """Nesting depth of every block (0 = not in any loop)."""
+    loops = find_natural_loops(cfg)
+    depth = {block.bid: 0 for block in cfg.blocks}
+    for loop in loops:
+        for bid in loop.body:
+            depth[bid] += 1
+    return depth

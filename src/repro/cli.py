@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run FILE.s [--policy P] [--functional] [--trace]
+    repro disasm FILE.s
+    repro analyze FILE.s                 # Levioso compiler pass report
+    repro bench [--scale S] [--policies ...] [--workloads ...]
+    repro experiment ID [--scale S]      # regenerate one table/figure
+    repro attack NAME [--policy P] [--secret N]
+    repro pipeline FILE.s [--policy P]   # per-instruction timeline view
+    repro report [--scale S]             # fold bench artifacts into EXPERIMENTS.md
+    repro suite                          # list workloads
+
+Also usable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .asm import assemble, disassemble
+from .attacks import ATTACKS, run_attack
+from .compiler import run_levioso_pass, static_stats
+from .errors import ReproError
+from .functional import run_program
+from .harness import ExperimentRunner, format_table
+from .harness.experiments import EXPERIMENTS
+from .isa import register_name
+from .secure import ALL_POLICY_NAMES, make_policy
+from .uarch import OooCore
+from .workloads import WORKLOAD_NAMES, build_workload
+
+
+def _load_source(path: str):
+    with open(path) as f:
+        return assemble(f.read(), name=path)
+
+
+def cmd_run(args) -> int:
+    program = _load_source(args.file)
+    if args.json and not args.functional:
+        import json
+
+        core = OooCore(program, policy=make_policy(args.policy))
+        result = core.run()
+        print(json.dumps(result.stats_dict(), indent=2))
+        return 0
+    if args.functional:
+        result = run_program(program, trace=args.trace)
+        print(f"instructions: {result.instructions}")
+        regs = result.regs
+    else:
+        core = OooCore(program, policy=make_policy(args.policy))
+        result = core.run()
+        stats = result.stats
+        print(f"policy:       {args.policy}")
+        print(f"cycles:       {stats.cycles}")
+        print(f"instructions: {stats.committed}")
+        print(f"IPC:          {stats.ipc:.3f}")
+        print(f"mispredicts:  {stats.branch_mispredicts + stats.jalr_mispredicts}")
+        print(f"gated loads:  {stats.loads_gated} ({stats.load_gate_cycles} cycles)")
+        regs = result.regs
+    nonzero = [
+        f"{register_name(i)}={v:#x}" for i, v in enumerate(regs) if v and i != 2
+    ]
+    print("registers:   ", " ".join(nonzero) or "(all zero)")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(disassemble(_load_source(args.file)))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = _load_source(args.file)
+    info = run_levioso_pass(program)
+    stats = static_stats(program)
+    print(f"functions analysed:   {len(set(info.function_of_branch.values()))}")
+    print(f"static instructions:  {stats.static_instructions}")
+    print(f"conditional branches: {stats.static_branches}")
+    print(f"reconvergence found:  {stats.reconvergence_coverage:.1%}")
+    print(f"mean region size:     {stats.mean_region_size:.1f} instructions")
+    print()
+    rows = []
+    for branch_pc, reconv in sorted(info.reconv_pc.items()):
+        rows.append(
+            [
+                f"{branch_pc:#x}",
+                f"{reconv:#x}" if reconv is not None else "(none)",
+                len(info.control_dep_pcs.get(branch_pc, ())),
+                info.function_of_branch.get(branch_pc, "?"),
+            ]
+        )
+    print(format_table(["branch", "reconv", "region size", "function"], rows))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    policies = args.policies or ["none", "fence", "ctt", "levioso"]
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    rows = []
+    for name in workloads:
+        base = runner.run(name, "none")
+        row = [name, base.cycles]
+        for policy in policies:
+            if policy == "none":
+                row.append("0.0%")
+                continue
+            overhead = runner.overhead(name, policy)
+            row.append(f"{100 * overhead:.1f}%")
+        rows.append(row)
+    print()
+    print(format_table(["benchmark", "base cycles", *policies], rows))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    module = EXPERIMENTS[args.id]
+    kwargs = {}
+    if args.id not in ("table1", "fig5"):
+        kwargs["scale"] = args.scale
+    result = module.run(**kwargs)
+    print(result.text())
+    return 0
+
+
+def cmd_attack(args) -> int:
+    outcome = run_attack(args.name, args.policy, secret=args.secret)
+    print(f"attack:    {outcome.attack}")
+    print(f"policy:    {outcome.policy}")
+    print(f"secret:    {outcome.secret:#04x}")
+    recovered = outcome.reading.recovered_value
+    print(f"recovered: {recovered:#04x}" if recovered is not None else "recovered: (nothing)")
+    print(f"verdict:   {outcome.verdict}")
+    return 0 if not outcome.leaked else 1
+
+
+def cmd_pipeline(args) -> int:
+    from .uarch import OooCore, gate_summary, render_timeline
+
+    program = _load_source(args.file)
+    core = OooCore(
+        program, policy=make_policy(args.policy), record_pipeline=True
+    )
+    core.run()
+    print(render_timeline(core.retired, start=args.start, count=args.count))
+    print()
+    print(gate_summary(core.retired))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .harness.report import update_experiments_md
+
+    ok = update_experiments_md(args.experiments, args.artifacts, scale=args.scale)
+    if ok:
+        print(f"updated {args.experiments} from {args.artifacts}")
+        return 0
+    print("nothing to do (no artifacts or no '## Recorded' marker)")
+    return 1
+
+
+def cmd_suite(args) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = build_workload(name, scale="test")
+        rows.append([name, workload.category, workload.description])
+    print(format_table(["name", "category", "description"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Levioso (DAC'24) reproduction: simulators, compiler pass, "
+        "attacks and experiment harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="assemble and execute a program")
+    p.add_argument("file")
+    p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES)
+    p.add_argument("--functional", action="store_true", help="use the golden model")
+    p.add_argument("--trace", action="store_true")
+    p.add_argument("--json", action="store_true", help="machine-readable stats")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a program")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("analyze", help="run the Levioso compiler pass")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bench", help="overhead table across the suite")
+    p.add_argument("--scale", default="test", choices=("test", "ref"))
+    p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES)
+    p.add_argument("--workloads", nargs="*", choices=WORKLOAD_NAMES)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("experiment", help="regenerate one table/figure")
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", default="test", choices=("test", "ref"))
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
+    p.add_argument("name", choices=sorted(ATTACKS))
+    p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES)
+    p.add_argument("--secret", type=lambda s: int(s, 0), default=0x5A)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("pipeline", help="render a pipeline timeline for a program")
+    p.add_argument("file")
+    p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--count", type=int, default=32)
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("report", help="fold benchmark artifacts into EXPERIMENTS.md")
+    p.add_argument("--experiments", default="EXPERIMENTS.md")
+    p.add_argument("--artifacts", default="benchmarks/_artifacts")
+    p.add_argument("--scale", default="test")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("suite", help="list SPEClite workloads")
+    p.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

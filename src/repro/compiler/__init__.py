@@ -1,0 +1,42 @@
+"""Levioso compiler pass: reconvergence & control-dependence analysis."""
+
+from .branch_deps import (
+    BranchDependencyInfo,
+    count_speculation_sources,
+    is_speculation_source,
+)
+from .control_dep import (
+    all_control_dependence,
+    control_dependence_region,
+    control_dependent_pcs,
+)
+from .pass_manager import ensure_analysis, run_levioso_pass
+from .reconvergence import (
+    BranchReconvergence,
+    analyze_reconvergence,
+    reconvergence_distance,
+)
+from .stats import (
+    DynamicDependenceStats,
+    StaticCompilerStats,
+    dynamic_dependence_stats,
+    static_stats,
+)
+
+__all__ = [
+    "BranchDependencyInfo",
+    "BranchReconvergence",
+    "DynamicDependenceStats",
+    "StaticCompilerStats",
+    "all_control_dependence",
+    "analyze_reconvergence",
+    "control_dependence_region",
+    "control_dependent_pcs",
+    "count_speculation_sources",
+    "dynamic_dependence_stats",
+    "ensure_analysis",
+    "is_speculation_source",
+    "reconvergence_distance",
+    "run_levioso_pass",
+    "static_stats",
+]

@@ -1,0 +1,93 @@
+"""The branch-dependency metadata Levioso ships from compiler to hardware.
+
+:class:`BranchDependencyInfo` is the software half of the co-design: for
+every static conditional branch, its reconvergence PC (or None), plus the
+static control-dependence sets used by verification and statistics.  The
+paper encodes this via an ISA extension; we attach it to the
+:class:`~repro.asm.program.Program` as an out-of-band table — the hardware
+consumes identical information either way (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Opcode
+
+
+@dataclass
+class BranchDependencyInfo:
+    """Compiler-produced true-branch-dependency metadata for one program.
+
+    Attributes:
+        reconv_pc: branch PC -> reconvergence PC (None = no intra-function
+            reconvergence; hardware falls back to resolve-time release).
+        control_dep_pcs: branch PC -> frozenset of instruction PCs that are
+            control-dependent on the branch (static; for stats/verification).
+        indirect_pcs: PCs of ``jalr`` instructions — speculation sources with
+            no static reconvergence point.
+        function_of_branch: branch PC -> function name (diagnostics).
+    """
+
+    reconv_pc: dict[int, int | None] = field(default_factory=dict)
+    control_dep_pcs: dict[int, frozenset[int]] = field(default_factory=dict)
+    indirect_pcs: set[int] = field(default_factory=set)
+    function_of_branch: dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- hw queries
+    def reconvergence_of(self, branch_pc: int) -> int | None:
+        """Reconvergence PC the hardware tracker should watch for."""
+        return self.reconv_pc.get(branch_pc)
+
+    def knows_branch(self, branch_pc: int) -> bool:
+        return branch_pc in self.reconv_pc
+
+    def is_control_dependent(self, inst_pc: int, branch_pc: int) -> bool:
+        """Static control dependence query (verification/statistics)."""
+        deps = self.control_dep_pcs.get(branch_pc)
+        return deps is not None and inst_pc in deps
+
+    # ------------------------------------------------------------- degrading
+    def degraded(self, keep_reconvergence: bool) -> "BranchDependencyInfo":
+        """Return weakened metadata for the compiler-information ablation.
+
+        ``keep_reconvergence=False`` erases every reconvergence point —
+        the hardware then behaves like the conservative baseline.
+        """
+        if keep_reconvergence:
+            return self
+        return BranchDependencyInfo(
+            reconv_pc={pc: None for pc in self.reconv_pc},
+            control_dep_pcs={
+                pc: frozenset() for pc in self.control_dep_pcs
+            },
+            indirect_pcs=set(self.indirect_pcs),
+            function_of_branch=dict(self.function_of_branch),
+        )
+
+    # ------------------------------------------------------------- statistics
+    def summary(self) -> dict[str, float]:
+        """Aggregate static statistics (feeds Table 2)."""
+        total = len(self.reconv_pc)
+        with_reconv = sum(1 for v in self.reconv_pc.values() if v is not None)
+        region_sizes = [len(s) for s in self.control_dep_pcs.values()]
+        return {
+            "static_branches": float(total),
+            "with_reconvergence": float(with_reconv),
+            "reconvergence_coverage": with_reconv / total if total else 1.0,
+            "mean_region_size": (
+                sum(region_sizes) / len(region_sizes) if region_sizes else 0.0
+            ),
+            "max_region_size": float(max(region_sizes, default=0)),
+            "indirect_jumps": float(len(self.indirect_pcs)),
+        }
+
+
+def count_speculation_sources(info: BranchDependencyInfo) -> int:
+    """Total speculation sources the hardware must track."""
+    return len(info.reconv_pc) + len(info.indirect_pcs)
+
+
+def is_speculation_source(opcode: Opcode) -> bool:
+    """Opcodes whose outcome prediction creates a speculative window."""
+    return opcode.is_branch or opcode is Opcode.JALR

@@ -1,0 +1,68 @@
+"""Control-dependence regions.
+
+The *control-dependence region* of a branch B is the set of blocks on paths
+from B's successors up to (and excluding) B's reconvergence block: the blocks
+whose execution is decided by B.  Classic Ferrante-Ottenstein-Warren control
+dependence computed region-wise, which is the form both the Levioso hardware
+model and the verification tests consume.
+"""
+
+from __future__ import annotations
+
+from ..cfg.basic_block import EXIT_BLOCK, FunctionCFG
+from ..cfg.dom import PostDominatorInfo
+
+
+def control_dependence_region(
+    cfg: FunctionCFG, branch_pc: int, pdom: PostDominatorInfo | None = None
+) -> frozenset[int]:
+    """Block ids control-dependent on the branch at ``branch_pc``.
+
+    Blocks reachable from either successor of the branch without passing
+    through its immediate post-dominator.  When the branch never reconverges
+    the region is every block reachable from its successors.
+    """
+    if pdom is None:
+        pdom = PostDominatorInfo(cfg)
+    bid = cfg.block_of_pc[branch_pc]
+    block = cfg.blocks[bid]
+    ipdom = pdom.immediate_postdominator(bid)
+    stop = ipdom if ipdom is not None else EXIT_BLOCK
+
+    region: set[int] = set()
+    work = [s for s in block.successors if s != EXIT_BLOCK and s != stop]
+    while work:
+        node = work.pop()
+        if node in region:
+            continue
+        region.add(node)
+        for succ in cfg.blocks[node].successors:
+            if succ != EXIT_BLOCK and succ != stop and succ not in region:
+                work.append(succ)
+    return frozenset(region)
+
+
+def control_dependent_pcs(
+    cfg: FunctionCFG, branch_pc: int, pdom: PostDominatorInfo | None = None
+) -> frozenset[int]:
+    """Instruction PCs control-dependent on the branch at ``branch_pc``.
+
+    The branch's own block-suffix after the branch is empty (branches
+    terminate blocks), so the region's blocks fully describe the dependent
+    instructions.
+    """
+    region = control_dependence_region(cfg, branch_pc, pdom)
+    pcs: set[int] = set()
+    for bid in region:
+        for inst in cfg.blocks[bid].instructions:
+            pcs.add(inst.pc)
+    return frozenset(pcs)
+
+
+def all_control_dependence(cfg: FunctionCFG) -> dict[int, frozenset[int]]:
+    """Control-dependent instruction PCs for every branch in ``cfg``."""
+    pdom = PostDominatorInfo(cfg)
+    return {
+        branch.pc: control_dependent_pcs(cfg, branch.pc, pdom)
+        for branch in cfg.conditional_branches()
+    }

@@ -1,0 +1,44 @@
+"""The Levioso compiler pass: program -> branch-dependency metadata.
+
+Runs CFG construction, post-dominator analysis, reconvergence and control
+dependence over every function, and attaches the combined
+:class:`~repro.compiler.branch_deps.BranchDependencyInfo` to the program.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..cfg.builder import build_all_cfgs
+from ..cfg.dom import PostDominatorInfo
+from ..isa import Opcode
+from .branch_deps import BranchDependencyInfo
+from .control_dep import control_dependent_pcs
+from .reconvergence import analyze_reconvergence
+
+
+def run_levioso_pass(program: Program) -> BranchDependencyInfo:
+    """Analyze ``program`` and attach dependency metadata to it.
+
+    Idempotent: re-running replaces ``program.analysis``.
+    """
+    info = BranchDependencyInfo()
+    for cfg in build_all_cfgs(program):
+        pdom = PostDominatorInfo(cfg)
+        for branch_pc, record in analyze_reconvergence(cfg).items():
+            info.reconv_pc[branch_pc] = record.reconv_pc
+            info.control_dep_pcs[branch_pc] = control_dependent_pcs(
+                cfg, branch_pc, pdom
+            )
+            info.function_of_branch[branch_pc] = cfg.name
+    for inst in program.instructions:
+        if inst.opcode is Opcode.JALR:
+            info.indirect_pcs.add(inst.pc)
+    program.analysis = info
+    return info
+
+
+def ensure_analysis(program: Program) -> BranchDependencyInfo:
+    """Return the program's metadata, running the pass on first use."""
+    if program.analysis is None:
+        return run_levioso_pass(program)
+    return program.analysis

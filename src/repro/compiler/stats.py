@@ -1,0 +1,142 @@
+"""Compiler-analysis statistics (Table 2 inputs + trace-based dependence).
+
+Static statistics come straight from the analysis results.  The dynamic
+statistics here replay a committed-path trace from the functional simulator
+with a fixed resolution window — a *static* approximation of dependence
+pressure.  The headline motivation measurement (Fig. 1) instead samples the
+timing model at load-issue time (`repro.harness.experiments.fig1`), because
+what matters is which branches are *still unresolved when the load is
+ready*, not a uniform window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program
+from ..functional.simulator import TraceEntry
+from ..isa import Opcode
+from .branch_deps import BranchDependencyInfo
+from .pass_manager import ensure_analysis
+from .reconvergence import reconvergence_distance, BranchReconvergence
+
+
+@dataclass
+class StaticCompilerStats:
+    """One row of Table 2."""
+
+    program: str
+    static_instructions: int
+    static_branches: int
+    reconvergence_coverage: float  # fraction of branches with a reconv point
+    mean_region_size: float        # instructions per control-dependence region
+    mean_reconv_distance: float    # instructions from branch to reconvergence
+    frac_insts_in_any_region: float
+
+
+def static_stats(program: Program) -> StaticCompilerStats:
+    """Compute the static analysis row for one program."""
+    info = ensure_analysis(program)
+    distances = []
+    for branch_pc, reconv in info.reconv_pc.items():
+        record = BranchReconvergence(branch_pc, reconv, "")
+        d = reconvergence_distance(record)
+        if d is not None:
+            distances.append(abs(d))
+    region_sizes = [len(s) for s in info.control_dep_pcs.values()]
+    covered_pcs: set[int] = set()
+    for pcs in info.control_dep_pcs.values():
+        covered_pcs.update(pcs)
+    total = len(program.instructions)
+    branches = len(info.reconv_pc)
+    with_reconv = sum(1 for v in info.reconv_pc.values() if v is not None)
+    return StaticCompilerStats(
+        program=program.name,
+        static_instructions=total,
+        static_branches=branches,
+        reconvergence_coverage=with_reconv / branches if branches else 1.0,
+        mean_region_size=(
+            sum(region_sizes) / len(region_sizes) if region_sizes else 0.0
+        ),
+        mean_reconv_distance=(
+            sum(distances) / len(distances) if distances else 0.0
+        ),
+        frac_insts_in_any_region=len(covered_pcs) / total if total else 0.0,
+    )
+
+
+@dataclass
+class DynamicDependenceStats:
+    """Trace-based dependence statistics for one program.
+
+    ``conservative_fraction``: dynamic instructions a conventional
+    comprehensive defense must treat as branch-dependent (any older
+    unresolved branch in the window).
+    ``true_fraction``: instructions inside the *dynamic dependence region*
+    of at least one window branch — what Levioso restricts.
+    """
+
+    program: str
+    dynamic_instructions: int
+    conservative_fraction: float
+    true_fraction: float
+
+    @property
+    def reduction(self) -> float:
+        """Relative reduction of restricted instructions (the paper's pitch)."""
+        if self.conservative_fraction == 0:
+            return 0.0
+        return 1.0 - self.true_fraction / self.conservative_fraction
+
+
+def dynamic_dependence_stats(
+    program: Program,
+    trace: list[TraceEntry],
+    resolution_window: int = 24,
+) -> DynamicDependenceStats:
+    """Replay a committed trace and measure restricted-instruction fractions.
+
+    ``resolution_window`` models how many dynamic instructions a branch stays
+    unresolved for (a proxy for its ROB lifetime); both the conservative and
+    the true-dependence models see the same window, so the comparison
+    isolates the dependency-precision effect.
+    """
+    info: BranchDependencyInfo = ensure_analysis(program)
+
+    # Active speculation windows: list of [age, reconv_pc, region_active]
+    active: list[list] = []
+    conservative = 0
+    true_dep = 0
+    total = 0
+
+    for entry in trace:
+        # Age out resolved branches.
+        for rec in active:
+            rec[0] += 1
+        active = [rec for rec in active if rec[0] <= resolution_window]
+
+        # Region deactivation: once the committed path reaches a branch's
+        # reconvergence PC, younger instructions are control-independent.
+        for rec in active:
+            if rec[2] and rec[1] is not None and entry.pc == rec[1]:
+                rec[2] = False
+
+        total += 1
+        if active:
+            conservative += 1
+        if any(rec[2] for rec in active):
+            true_dep += 1
+
+        opcode = entry.opcode
+        if opcode.is_branch:
+            reconv = info.reconvergence_of(entry.pc)
+            active.append([0, reconv, True])
+        elif opcode is Opcode.JALR:
+            active.append([0, None, True])
+
+    return DynamicDependenceStats(
+        program=program.name,
+        dynamic_instructions=total,
+        conservative_fraction=conservative / total if total else 0.0,
+        true_fraction=true_dep / total if total else 0.0,
+    )

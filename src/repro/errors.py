@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing Python
+built-in errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """Invalid use of the ISA layer (bad register, opcode, operand)."""
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be encoded/decoded (field overflow, bad word)."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in assembly source.
+
+    Carries the source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LinkError(ReproError):
+    """An undefined or duplicate symbol was referenced at assembly time."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an illegal state (bad PC, fault)."""
+
+
+class MemoryFault(SimulationError):
+    """Access to unmapped or misaligned memory."""
+
+    def __init__(self, address: int, reason: str = "unmapped"):
+        self.address = address
+        super().__init__(f"memory fault at {address:#x}: {reason}")
+
+
+class TimeoutError_(SimulationError):
+    """The simulation exceeded its instruction or cycle budget."""
+
+
+class AnalysisError(ReproError):
+    """A compiler/CFG analysis was asked something it cannot answer."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent or out-of-range microarchitecture configuration."""
+
+
+class PolicyError(ReproError):
+    """A security policy was configured or used incorrectly."""

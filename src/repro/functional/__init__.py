@@ -1,0 +1,24 @@
+"""Architectural golden model and shared ISA semantics."""
+
+from .semantics import alu_result, branch_taken, effective_address, load_is_signed
+from .simulator import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    FunctionalResult,
+    FunctionalSimulator,
+    TraceEntry,
+    run_program,
+)
+from .state import ArchState
+
+__all__ = [
+    "ArchState",
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "TraceEntry",
+    "alu_result",
+    "branch_taken",
+    "effective_address",
+    "load_is_signed",
+    "run_program",
+]

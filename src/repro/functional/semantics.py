@@ -1,0 +1,117 @@
+"""Architectural semantics of the mini-RISC ISA.
+
+One shared implementation used by the functional golden model *and* the
+out-of-order core's execution units — a single source of truth means the
+differential tests compare timing models, never two ALU implementations.
+
+All register values are handled as unsigned 64-bit Python ints
+(``0 .. 2**64-1``); helpers convert to signed where an opcode requires it.
+Division semantics follow RISC-V: divide-by-zero yields all-ones / the
+dividend, and ``INT_MIN / -1`` wraps.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..isa import Opcode, to_signed, to_unsigned
+
+_SHIFT_MASK = 63
+_INT_MIN = -(1 << 63)
+
+
+def alu_result(opcode: Opcode, a: int, b: int, imm: int, pc: int) -> int:
+    """Compute the register result of a non-memory, non-branch opcode.
+
+    ``a``/``b`` are the rs1/rs2 values (unsigned domain); ``imm`` the
+    immediate; ``pc`` the instruction's own address (needed for link
+    registers).
+    """
+    if opcode is Opcode.ADD:
+        return to_unsigned(a + b)
+    if opcode is Opcode.SUB:
+        return to_unsigned(a - b)
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.SLL:
+        return to_unsigned(a << (b & _SHIFT_MASK))
+    if opcode is Opcode.SRL:
+        return a >> (b & _SHIFT_MASK)
+    if opcode is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> (b & _SHIFT_MASK))
+    if opcode is Opcode.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if opcode is Opcode.SLTU:
+        return 1 if a < b else 0
+    if opcode is Opcode.MUL:
+        return to_unsigned(a * b)
+    if opcode is Opcode.MULH:
+        return to_unsigned((to_signed(a) * to_signed(b)) >> 64)
+    if opcode is Opcode.DIV:
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return to_unsigned(-1)
+        if sa == _INT_MIN and sb == -1:
+            return to_unsigned(_INT_MIN)
+        return to_unsigned(int(sa / sb))  # C-style truncation toward zero
+    if opcode is Opcode.REM:
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return to_unsigned(sa)
+        if sa == _INT_MIN and sb == -1:
+            return 0
+        return to_unsigned(sa - int(sa / sb) * sb)
+
+    if opcode is Opcode.ADDI:
+        return to_unsigned(a + imm)
+    if opcode is Opcode.ANDI:
+        return a & to_unsigned(imm)
+    if opcode is Opcode.ORI:
+        return a | to_unsigned(imm)
+    if opcode is Opcode.XORI:
+        return a ^ to_unsigned(imm)
+    if opcode is Opcode.SLLI:
+        return to_unsigned(a << (imm & _SHIFT_MASK))
+    if opcode is Opcode.SRLI:
+        return a >> (imm & _SHIFT_MASK)
+    if opcode is Opcode.SRAI:
+        return to_unsigned(to_signed(a) >> (imm & _SHIFT_MASK))
+    if opcode is Opcode.SLTI:
+        return 1 if to_signed(a) < imm else 0
+    if opcode is Opcode.LI:
+        return to_unsigned(imm)
+    if opcode is Opcode.NOP:
+        return 0
+    if opcode in (Opcode.JAL, Opcode.JALR):
+        return to_unsigned(pc + 4)
+    raise SimulationError(f"alu_result called with {opcode.mnemonic}")
+
+
+def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
+    """Evaluate a conditional branch's predicate."""
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if opcode is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    if opcode is Opcode.BLTU:
+        return a < b
+    if opcode is Opcode.BGEU:
+        return a >= b
+    raise SimulationError(f"branch_taken called with {opcode.mnemonic}")
+
+
+def effective_address(base: int, imm: int) -> int:
+    """Compute a load/store effective address (wraps at 64 bits)."""
+    return to_unsigned(base + imm)
+
+
+def load_is_signed(opcode: Opcode) -> bool:
+    """Sign-extension behaviour of a load opcode."""
+    return opcode in (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LD)

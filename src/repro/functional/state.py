@@ -1,0 +1,48 @@
+"""Architectural machine state: registers + memory + PC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import STACK_TOP, Program
+from ..isa import NUM_REGS, ZERO_REG, register_name, to_unsigned
+from ..mem.backing import SparseMemory
+
+
+@dataclass
+class ArchState:
+    """The architectural state the two simulators must agree on."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    memory: SparseMemory = field(default_factory=SparseMemory)
+    pc: int = 0
+    halted: bool = False
+
+    @classmethod
+    def boot(cls, program: Program) -> "ArchState":
+        """Initial state for a program: data image loaded, sp set, PC at entry."""
+        state = cls()
+        state.memory.load_image(program.data_base, program.data)
+        state.pc = program.entry
+        state.write_reg(2, STACK_TOP)  # sp
+        return state
+
+    def read_reg(self, index: int) -> int:
+        if index == ZERO_REG:
+            return 0
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != ZERO_REG:
+            self.regs[index] = to_unsigned(value)
+
+    def snapshot_regs(self) -> tuple[int, ...]:
+        return tuple(self.regs)
+
+    def dump_regs(self) -> str:
+        """Readable register dump for debugging failed differential tests."""
+        parts = []
+        for i in range(NUM_REGS):
+            if self.regs[i]:
+                parts.append(f"{register_name(i)}={self.regs[i]:#x}")
+        return " ".join(parts) or "(all zero)"

@@ -1,0 +1,20 @@
+"""Experiment harness: runners, sweeps, table formatting, experiments."""
+
+from .experiments import EXPERIMENTS, ExperimentResult
+from .report import collect_artifacts, render_record, update_experiments_md
+from .runner import ExperimentRunner, RunRecord, geomean
+from .tables import format_percent, format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "RunRecord",
+    "collect_artifacts",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "geomean",
+    "render_record",
+    "update_experiments_md",
+]

@@ -1,0 +1,32 @@
+"""Per-table/figure experiment modules (see DESIGN.md experiment index)."""
+
+from . import (
+    ablation_compiler,
+    ablation_mask,
+    ablation_scope,
+    energy,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    table1,
+    table2,
+)
+from .base import ExperimentResult
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "ablationA": ablation_compiler,
+    "ablationB": ablation_scope,
+    "ablationC": ablation_mask,
+    "energy": energy,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

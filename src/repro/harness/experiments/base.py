@@ -1,0 +1,29 @@
+"""Common experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` carry the machine-readable data (used by benchmarks and tests);
+    ``text()`` renders what the paper's table/figure reports.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def text(self) -> str:
+        from ..tables import format_table
+
+        out = format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out

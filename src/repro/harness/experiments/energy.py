@@ -1,0 +1,79 @@
+"""Extension experiment: energy and EDP overhead per policy.
+
+Secure-speculation papers report energy alongside performance: delayed
+execution burns static energy, squashes waste dynamic energy, and the
+defense hardware itself (taint CAMs, dependency matrices) costs something.
+This experiment reproduces that methodology on the event-based model in
+:mod:`repro.uarch.energy`.
+"""
+
+from __future__ import annotations
+
+from ...uarch.energy import energy_delay_product, estimate_energy
+from ..runner import ExperimentRunner, geomean
+from .base import ExperimentResult
+
+POLICIES = ("fence", "ctt", "levioso")
+WORKLOAD_SUBSET = ("gather", "pchase", "branchy", "treewalk", "stream", "crc")
+
+
+def run(
+    scale: str = "ref",
+    runner: ExperimentRunner | None = None,
+    policies: tuple[str, ...] = POLICIES,
+    workloads: tuple[str, ...] = WORKLOAD_SUBSET,
+) -> ExperimentResult:
+    runner = runner or ExperimentRunner(scale=scale)
+    rows = []
+    energy_ovh: dict[str, list[float]] = {p: [] for p in policies}
+    edp_ovh: dict[str, list[float]] = {p: [] for p in policies}
+
+    def measure(record, tracks_dependencies: bool):
+        result = record.result
+        breakdown = estimate_energy(
+            result.stats,
+            result.hierarchy,
+            gate_checks=result.stats.loads_gated + result.stats.branches_gated,
+            tracks_dependencies=tracks_dependencies,
+        )
+        return breakdown, energy_delay_product(breakdown, result.stats.cycles)
+
+    for name in workloads:
+        base_record = runner.run(name, "none")
+        base_energy, base_edp = measure(base_record, tracks_dependencies=False)
+        row = [name]
+        for policy in policies:
+            record = runner.run(name, policy)
+            breakdown, edp = measure(
+                record, tracks_dependencies=(policy == "levioso")
+            )
+            e_ovh = breakdown.total / base_energy.total - 1.0
+            d_ovh = edp / base_edp - 1.0
+            energy_ovh[policy].append(e_ovh)
+            edp_ovh[policy].append(d_ovh)
+            row.append(round(100 * e_ovh, 1))
+            row.append(round(100 * d_ovh, 1))
+        rows.append(row)
+
+    gm_row = ["geomean"]
+    geomeans = {}
+    for policy in policies:
+        ge = geomean(energy_ovh[policy])
+        gd = geomean(edp_ovh[policy])
+        geomeans[policy] = (ge, gd)
+        gm_row.append(round(100 * ge, 1))
+        gm_row.append(round(100 * gd, 1))
+    rows.append(gm_row)
+
+    headers = ["benchmark"]
+    for policy in policies:
+        headers.append(f"{policy} E%")
+        headers.append(f"{policy} EDP%")
+    return ExperimentResult(
+        experiment_id="energy",
+        title="Energy and energy-delay-product overhead vs unprotected (%)",
+        headers=headers,
+        rows=rows,
+        notes="Levioso is additionally charged for its dependency-matrix updates.",
+        extras={"geomeans": geomeans},
+    )

@@ -1,0 +1,49 @@
+"""Fig. 3: delayed-transmitter breakdown per policy.
+
+Gated loads per kilo-instruction and mean delay cycles — the mechanism
+behind the Fig. 2 overheads.
+"""
+
+from __future__ import annotations
+
+from ...workloads import WORKLOAD_NAMES
+from ..runner import ExperimentRunner
+from .base import ExperimentResult
+
+POLICIES = ("fence", "ctt", "levioso")
+
+
+def run(
+    scale: str = "ref",
+    runner: ExperimentRunner | None = None,
+    policies: tuple[str, ...] = POLICIES,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> ExperimentResult:
+    runner = runner or ExperimentRunner(scale=scale)
+    rows = []
+    totals: dict[str, list[float]] = {p: [] for p in policies}
+    for name in workloads:
+        row = [name]
+        for policy in policies:
+            record = runner.run(name, policy)
+            row.append(round(record.gated_loads_pki, 1))
+            row.append(round(record.mean_gate_delay, 1))
+            totals[policy].append(record.gated_loads_pki)
+        rows.append(row)
+    mean_row = ["mean"]
+    for policy in policies:
+        pki = totals[policy]
+        mean_row.append(round(sum(pki) / len(pki), 1))
+        mean_row.append("")
+    rows.append(mean_row)
+    headers = ["benchmark"]
+    for policy in policies:
+        headers.append(f"{policy} gated/ki")
+        headers.append(f"{policy} delay")
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Policy-delayed loads per kilo-instruction and mean delay (cycles)",
+        headers=headers,
+        rows=rows,
+        extras={"totals": totals},
+    )

@@ -1,0 +1,84 @@
+"""Fig. 4: sensitivity of the geomean overhead to ROB size.
+
+Bigger windows expose more speculation, so conservative policies pay more
+while Levioso's targeted restrictions scale gracefully — the crossover
+structure the paper's sensitivity study shows.
+"""
+
+from __future__ import annotations
+
+from ...uarch import CoreConfig
+from ..runner import ExperimentRunner, geomean
+from .base import ExperimentResult
+
+POLICIES = ("fence", "ctt", "levioso")
+ROB_SIZES = (64, 128, 192, 256)
+# A representative subset keeps the sweep tractable (12x4x4 full runs at ref
+# scale would take tens of minutes); these four cover the category space.
+WORKLOAD_SUBSET = ("gather", "pchase", "branchy", "treewalk")
+
+
+def run(
+    scale: str = "ref",
+    rob_sizes: tuple[int, ...] = ROB_SIZES,
+    policies: tuple[str, ...] = POLICIES,
+    workloads: tuple[str, ...] = WORKLOAD_SUBSET,
+) -> ExperimentResult:
+    rows = []
+    series: dict[str, list[tuple[int, float]]] = {p: [] for p in policies}
+    for rob in rob_sizes:
+        config = CoreConfig(rob_size=rob, iq_size=min(64, rob), lq_size=min(48, rob),
+                            sq_size=min(48, rob))
+        runner = ExperimentRunner(scale=scale, config=config)
+        row = [rob]
+        for policy in policies:
+            overheads = [runner.overhead(w, policy) for w in workloads]
+            gm = geomean(overheads)
+            series[policy].append((rob, gm))
+            row.append(round(100.0 * gm, 1))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Geomean overhead (%) vs ROB size",
+        headers=["ROB", *policies],
+        rows=rows,
+        notes=f"workload subset: {', '.join(workloads)}",
+        extras={"series": series},
+    )
+
+
+BRANCH_LATENCIES = (1, 2, 4, 8)
+
+
+def run_branch_latency(
+    scale: str = "ref",
+    latencies: tuple[int, ...] = BRANCH_LATENCIES,
+    policies: tuple[str, ...] = POLICIES,
+    workloads: tuple[str, ...] = WORKLOAD_SUBSET,
+) -> ExperimentResult:
+    """Fig. 4b: sensitivity to branch-resolution latency.
+
+    Secure-speculation cost scales with how long branches stay unresolved;
+    deeper resolution pipelines widen the gap between the conservative
+    baselines and Levioso.
+    """
+    rows = []
+    series: dict[str, list[tuple[int, float]]] = {p: [] for p in policies}
+    for latency in latencies:
+        config = CoreConfig(branch_latency=latency)
+        runner = ExperimentRunner(scale=scale, config=config)
+        row = [latency]
+        for policy in policies:
+            overheads = [runner.overhead(w, policy) for w in workloads]
+            gm = geomean(overheads)
+            series[policy].append((latency, gm))
+            row.append(round(100.0 * gm, 1))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="Geomean overhead (%) vs branch-resolution latency",
+        headers=["branch latency", *policies],
+        rows=rows,
+        notes=f"workload subset: {', '.join(workloads)}",
+        extras={"series": series},
+    )

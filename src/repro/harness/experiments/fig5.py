@@ -1,0 +1,36 @@
+"""Fig. 5 / security table: attack outcomes under every policy."""
+
+from __future__ import annotations
+
+from ...attacks import ATTACKS, leak_rate, security_matrix
+from .base import ExperimentResult
+
+POLICIES = ("none", "stt", "nda", "fence", "dom", "ctt", "levioso")
+
+
+def run(
+    policies: tuple[str, ...] = POLICIES,
+    secrets: tuple[int, ...] = (0x5A, 0xA7, 0x11),
+) -> ExperimentResult:
+    matrix = security_matrix(policies, secrets=secrets)
+    rows = []
+    outcomes = {}
+    for attack in ATTACKS:
+        row = [attack]
+        for policy in policies:
+            rate = leak_rate(matrix[(attack, policy)])
+            outcomes[(attack, policy)] = rate
+            row.append("LEAK" if rate > 0 else "safe")
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Security evaluation: secret recovery via the cache channel",
+        headers=["attack", *policies],
+        rows=rows,
+        notes=(
+            "spectre_v1 = speculatively accessed secret (sandbox model); "
+            "spectre_v1_ct = non-speculatively accessed secret (constant-time "
+            "model).  STT is expected to fail the latter."
+        ),
+        extras={"leak_rates": outcomes},
+    )

@@ -1,0 +1,18 @@
+"""Table 1: simulated processor configuration."""
+
+from __future__ import annotations
+
+from ...uarch import CoreConfig
+from .base import ExperimentResult
+
+
+def run(config: CoreConfig | None = None) -> ExperimentResult:
+    cfg = config or CoreConfig()
+    rows = [[name, value] for name, value in cfg.table_rows()]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Simulated processor configuration",
+        headers=["Parameter", "Value"],
+        rows=rows,
+        notes="gem5 O3-class parameters; see CoreConfig for every knob.",
+    )

@@ -1,0 +1,43 @@
+"""Table 2: compiler-analysis statistics per benchmark."""
+
+from __future__ import annotations
+
+from ...compiler import static_stats
+from ...workloads import build_suite
+from .base import ExperimentResult
+
+
+def run(scale: str = "ref") -> ExperimentResult:
+    rows = []
+    for workload in build_suite(scale):
+        program = workload.assemble()
+        stats = static_stats(program)
+        rows.append(
+            [
+                stats.program,
+                stats.static_instructions,
+                stats.static_branches,
+                round(stats.reconvergence_coverage, 3),
+                round(stats.mean_region_size, 1),
+                round(stats.mean_reconv_distance, 1),
+                round(stats.frac_insts_in_any_region, 3),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Levioso compiler-analysis statistics",
+        headers=[
+            "benchmark",
+            "static insts",
+            "branches",
+            "reconv coverage",
+            "mean region",
+            "mean reconv dist",
+            "frac in region",
+        ],
+        rows=rows,
+        notes=(
+            "reconv coverage: fraction of branches with an intra-function "
+            "reconvergence point; region sizes in instructions."
+        ),
+    )

@@ -1,0 +1,126 @@
+"""Experiment runner: (workload, policy, config) -> measured run records.
+
+The runner memoizes nothing across processes but deduplicates within one
+harness invocation, so a figure that reuses the baseline runs of another
+figure does not pay for them twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..secure import make_policy
+from ..uarch import CoreConfig, OooCore, SimResult
+from ..workloads import Workload, build_suite
+
+
+@dataclass
+class RunRecord:
+    """One measured simulation."""
+
+    workload: str
+    policy: str
+    cycles: int
+    committed: int
+    ipc: float
+    loads_gated: int
+    load_gate_cycles: int
+    mean_gate_delay: float
+    gated_loads_pki: float
+    mpki: float
+    result: SimResult = field(repr=False, default=None)
+
+    @classmethod
+    def from_result(cls, workload: str, policy: str, result: SimResult) -> "RunRecord":
+        stats = result.stats
+        return cls(
+            workload=workload,
+            policy=policy,
+            cycles=stats.cycles,
+            committed=stats.committed,
+            ipc=stats.ipc,
+            loads_gated=stats.loads_gated,
+            load_gate_cycles=stats.load_gate_cycles,
+            mean_gate_delay=stats.mean_gate_delay,
+            gated_loads_pki=stats.gated_loads_pki,
+            mpki=stats.mpki,
+            result=result,
+        )
+
+
+class ExperimentRunner:
+    """Runs workloads under policies/configs with per-invocation caching."""
+
+    def __init__(self, scale: str = "ref", config: CoreConfig | None = None,
+                 verbose: bool = False):
+        self.scale = scale
+        self.config = config or CoreConfig()
+        self.verbose = verbose
+        self._cache: dict[tuple, RunRecord] = {}
+        self._workloads: dict[str, Workload] = {}
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            from ..workloads import build_workload
+
+            self._workloads[name] = build_workload(name, self.scale)
+        return self._workloads[name]
+
+    def suite(self, names: tuple[str, ...] | None = None) -> list[Workload]:
+        workloads = build_suite(self.scale, names)
+        for w in workloads:
+            self._workloads[w.name] = w
+        return workloads
+
+    def run(
+        self,
+        workload_name: str,
+        policy_name: str,
+        config: CoreConfig | None = None,
+        use_compiler_info: bool = True,
+    ) -> RunRecord:
+        """Run one (workload, policy) pair, self-checking the result."""
+        cfg = config or self.config
+        key = (workload_name, policy_name, id(cfg) if config else None,
+               use_compiler_info)
+        if key in self._cache:
+            return self._cache[key]
+        workload = self.workload(workload_name)
+        program = workload.assemble()
+        core = OooCore(
+            program,
+            config=cfg,
+            policy=make_policy(policy_name),
+            use_compiler_info=use_compiler_info,
+        )
+        result = core.run()
+        if not workload.validate(result.regs):
+            raise SimulationError(
+                f"{workload_name} under {policy_name}: self-check failed "
+                f"(a0={result.regs[10]:#x}, want {workload.check_value:#x})"
+            )
+        record = RunRecord.from_result(workload_name, policy_name, result)
+        if self.verbose:
+            print(
+                f"  {workload_name:10s} {policy_name:8s} "
+                f"{record.cycles:>9d} cycles  IPC {record.ipc:.2f}"
+            )
+        self._cache[key] = record
+        return record
+
+    def overhead(self, workload_name: str, policy_name: str, **kwargs) -> float:
+        """Normalized execution-time overhead vs the unprotected core."""
+        baseline = self.run(workload_name, "none", **kwargs)
+        protected = self.run(workload_name, policy_name, **kwargs)
+        return protected.cycles / baseline.cycles - 1.0
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of (1 + overhead) factors, returned as overhead."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= 1.0 + v
+    return product ** (1.0 / len(values)) - 1.0

@@ -1,0 +1,42 @@
+"""Plain-text table/series formatting for experiment output.
+
+The harness prints the same rows/series the paper's tables and figures
+report; EXPERIMENTS.md captures the measured values next to the paper's.
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def format_series(name: str, points: list[tuple], unit: str = "") -> str:
+    """One figure series as `name: x=y` pairs."""
+    body = "  ".join(f"{x}={_fmt(y)}{unit}" for x, y in points)
+    return f"{name}: {body}"

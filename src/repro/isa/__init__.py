@@ -1,0 +1,39 @@
+"""Mini-RISC instruction-set architecture.
+
+The contract between the compiler toolchain (:mod:`repro.asm`,
+:mod:`repro.compiler`) and the machines (:mod:`repro.functional`,
+:mod:`repro.uarch`).
+"""
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+from .opcodes import CODE_TO_OPCODE, MNEMONIC_TO_OPCODE, FuncClass, Opcode, OperandFormat
+from .registers import (
+    ABI_NAMES,
+    NUM_REGS,
+    WORD_MASK,
+    XLEN,
+    ZERO_REG,
+    parse_register,
+    register_name,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "CODE_TO_OPCODE",
+    "FuncClass",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "MNEMONIC_TO_OPCODE",
+    "NUM_REGS",
+    "Opcode",
+    "OperandFormat",
+    "WORD_MASK",
+    "XLEN",
+    "ZERO_REG",
+    "parse_register",
+    "register_name",
+    "to_signed",
+    "to_unsigned",
+]

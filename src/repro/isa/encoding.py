@@ -1,0 +1,81 @@
+"""Binary encoding of instructions.
+
+Instructions are encoded into fixed 12-byte records: a 32-bit header packing
+``opcode/rd/rs1/rs2`` followed by a 64-bit little-endian immediate.  The
+encoded form is a *serialization artifact* (program images on disk, hashing,
+round-trip testing); architecturally each instruction still occupies 4 bytes
+of PC space, mirroring how gem5 decouples its decoded micro-op objects from
+the fetch stream.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodingError
+from .instruction import Instruction
+from .opcodes import CODE_TO_OPCODE
+
+RECORD_BYTES = 12
+"""Size of one encoded instruction record."""
+
+_HEADER = struct.Struct("<I")
+_IMM = struct.Struct("<q")
+
+_IMM_MIN = -(1 << 63)
+_IMM_MAX = (1 << 63) - 1
+
+
+def encode(inst: Instruction) -> bytes:
+    """Encode one instruction into its 12-byte record."""
+    if not _IMM_MIN <= inst.imm <= _IMM_MAX:
+        raise EncodingError(
+            f"immediate {inst.imm} of {inst.opcode.mnemonic} exceeds 64-bit signed range"
+        )
+    header = (
+        (inst.opcode.code & 0xFF)
+        | ((inst.rd & 0x1F) << 8)
+        | ((inst.rs1 & 0x1F) << 13)
+        | ((inst.rs2 & 0x1F) << 18)
+    )
+    return _HEADER.pack(header) + _IMM.pack(inst.imm)
+
+
+def decode(record: bytes, pc: int = 0) -> Instruction:
+    """Decode a 12-byte record back into an :class:`Instruction`."""
+    if len(record) != RECORD_BYTES:
+        raise EncodingError(f"expected {RECORD_BYTES} bytes, got {len(record)}")
+    (header,) = _HEADER.unpack(record[:4])
+    (imm,) = _IMM.unpack(record[4:])
+    code = header & 0xFF
+    if code not in CODE_TO_OPCODE:
+        raise EncodingError(f"unknown opcode value {code}")
+    return Instruction(
+        opcode=CODE_TO_OPCODE[code],
+        rd=(header >> 8) & 0x1F,
+        rs1=(header >> 13) & 0x1F,
+        rs2=(header >> 18) & 0x1F,
+        imm=imm,
+        pc=pc,
+    )
+
+
+def encode_program_text(instructions: list[Instruction]) -> bytes:
+    """Encode an instruction sequence into a flat image."""
+    return b"".join(encode(inst) for inst in instructions)
+
+
+def decode_program_text(image: bytes, base_pc: int) -> list[Instruction]:
+    """Decode a flat image produced by :func:`encode_program_text`.
+
+    PCs are reassigned sequentially from ``base_pc`` with the architectural
+    4-byte stride.
+    """
+    if len(image) % RECORD_BYTES:
+        raise EncodingError(
+            f"image length {len(image)} is not a multiple of {RECORD_BYTES}"
+        )
+    out = []
+    for i in range(0, len(image), RECORD_BYTES):
+        out.append(decode(image[i : i + RECORD_BYTES], pc=base_pc + (i // RECORD_BYTES) * 4))
+    return out

@@ -1,0 +1,121 @@
+"""The :class:`Instruction` record shared by assembler, compiler and cores.
+
+An instruction is immutable once assembled.  Dynamic (per-execution) state
+lives in the simulators, never here, so one :class:`~repro.asm.program.Program`
+can be executed concurrently by many simulator instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from .opcodes import Opcode, OperandFormat
+from .registers import ZERO_REG, register_name
+
+INSTRUCTION_BYTES = 4
+"""Architectural size of one instruction; PCs advance by this amount."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        opcode: the operation.
+        rd: destination register index (0 when unused).
+        rs1: first source register index (0 when unused).
+        rs2: second source register index (0 when unused).
+        imm: immediate operand / branch displacement in *bytes* / absolute
+            jump target for ``JAL`` (we store resolved absolute targets for
+            control flow to keep the simulators simple).
+        pc: byte address of this instruction, filled in at layout time.
+        label: label attached to this address in the source, if any.
+        source_line: 1-based line in the assembly source, for diagnostics.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    pc: int = 0
+    label: str | None = field(default=None, compare=False)
+    source_line: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < 32:
+                raise IsaError(f"{name}={reg} out of range for {self.opcode.mnemonic}")
+        # Precompute the classification flags the simulators query millions
+        # of times per run; enum-property chains are too slow on this path.
+        op = self.opcode
+        set_attr = object.__setattr__
+        set_attr(self, "is_load", op.is_load)
+        set_attr(self, "is_store", op.is_store)
+        set_attr(self, "is_mem", op.is_mem)
+        set_attr(self, "is_branch", op.is_branch)
+        set_attr(self, "is_jump", op.is_jump)
+        set_attr(self, "is_control", op.is_control)
+        set_attr(self, "is_halt", op is Opcode.HALT)
+        set_attr(self, "is_indirect_jump", op is Opcode.JALR)
+        set_attr(self, "mem_size", op.access_size if op.is_mem else None)
+        dest = self.rd if (op.writes_rd and self.rd != ZERO_REG) else None
+        set_attr(self, "_dest", dest)
+        sources = []
+        if op.reads_rs1 and self.rs1 != ZERO_REG:
+            sources.append(self.rs1)
+        if op.reads_rs2 and self.rs2 != ZERO_REG:
+            sources.append(self.rs2)
+        set_attr(self, "_sources", tuple(sources))
+
+    @property
+    def branch_target(self) -> int:
+        """Absolute taken-target for branches/JAL (stored resolved in imm)."""
+        if not (self.is_branch or self.opcode is Opcode.JAL):
+            raise IsaError(f"{self.opcode.mnemonic} has no static branch target")
+        return self.imm
+
+    @property
+    def fallthrough(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.pc + INSTRUCTION_BYTES
+
+    def dest_reg(self) -> int | None:
+        """Architectural destination register, or None (x0 writes discarded)."""
+        return self._dest
+
+    def source_regs(self) -> tuple[int, ...]:
+        """Architectural source registers actually read (x0 excluded)."""
+        return self._sources
+
+    # ------------------------------------------------------------------ text
+    def text(self) -> str:
+        """Disassemble to canonical assembly text (resolved targets as hex)."""
+        op = self.opcode
+        fmt = op.fmt
+        r = register_name
+        if op is Opcode.CFLUSH:
+            return f"{op.mnemonic} {self.imm}({r(self.rs1)})"
+        if op is Opcode.RDCYCLE:
+            return f"{op.mnemonic} {r(self.rd)}"
+        if fmt is OperandFormat.R:
+            return f"{op.mnemonic} {r(self.rd)}, {r(self.rs1)}, {r(self.rs2)}"
+        if fmt is OperandFormat.I:
+            return f"{op.mnemonic} {r(self.rd)}, {r(self.rs1)}, {self.imm}"
+        if fmt is OperandFormat.LI:
+            return f"{op.mnemonic} {r(self.rd)}, {self.imm}"
+        if fmt is OperandFormat.MEM:
+            data_reg = self.rd if op.is_load else self.rs2
+            return f"{op.mnemonic} {r(data_reg)}, {self.imm}({r(self.rs1)})"
+        if fmt is OperandFormat.B:
+            return f"{op.mnemonic} {r(self.rs1)}, {r(self.rs2)}, {self.imm:#x}"
+        if fmt is OperandFormat.J:
+            return f"{op.mnemonic} {r(self.rd)}, {self.imm:#x}"
+        if fmt is OperandFormat.JR:
+            return f"{op.mnemonic} {r(self.rd)}, {r(self.rs1)}, {self.imm}"
+        return op.mnemonic
+
+    def __str__(self) -> str:
+        return f"{self.pc:#06x}: {self.text()}"

@@ -1,0 +1,212 @@
+"""Opcode definitions and static instruction properties.
+
+Each opcode carries a :class:`FuncClass` (which execution unit runs it and,
+indirectly, its latency) and an :class:`OperandFormat` (how its assembly
+operands map onto ``rd/rs1/rs2/imm``).  Keeping these as data on the opcode
+lets the assembler, the functional simulator and the out-of-order core share
+a single source of truth about instruction shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import IsaError
+
+
+class FuncClass(enum.Enum):
+    """Functional class — selects execution unit and default latency."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+class OperandFormat(enum.Enum):
+    """Assembly-operand shapes.
+
+    ``R``     rd, rs1, rs2          (add a0, a1, a2)
+    ``I``     rd, rs1, imm          (addi a0, a1, 8)
+    ``LI``    rd, imm               (li a0, 1234)
+    ``MEM``   rd, imm(rs1)          (ld a0, 8(sp)) / store: rs2, imm(rs1)
+    ``B``     rs1, rs2, target      (beq a0, a1, label)
+    ``J``     rd, target            (jal ra, label)
+    ``JR``    rd, rs1, imm          (jalr ra, t0, 0)
+    ``NONE``  no operands           (nop, halt)
+    """
+
+    R = "r"
+    I = "i"  # noqa: E741 - conventional ISA format name
+    LI = "li"
+    MEM = "mem"
+    B = "b"
+    J = "j"
+    JR = "jr"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    func_class: FuncClass
+    fmt: OperandFormat
+    writes_rd: bool
+    reads_rs1: bool
+    reads_rs2: bool
+    code: int  # numeric encoding value
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the mini-RISC ISA.
+
+    The enum *value* is the :class:`OpcodeInfo` record; helper properties
+    expose the common queries.
+    """
+
+    # -- integer ALU, register-register ------------------------------------
+    ADD = OpcodeInfo("add", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 1)
+    SUB = OpcodeInfo("sub", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 2)
+    AND = OpcodeInfo("and", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 3)
+    OR = OpcodeInfo("or", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 4)
+    XOR = OpcodeInfo("xor", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 5)
+    SLL = OpcodeInfo("sll", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 6)
+    SRL = OpcodeInfo("srl", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 7)
+    SRA = OpcodeInfo("sra", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 8)
+    SLT = OpcodeInfo("slt", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 9)
+    SLTU = OpcodeInfo("sltu", FuncClass.INT_ALU, OperandFormat.R, True, True, True, 10)
+    MUL = OpcodeInfo("mul", FuncClass.INT_MUL, OperandFormat.R, True, True, True, 11)
+    MULH = OpcodeInfo("mulh", FuncClass.INT_MUL, OperandFormat.R, True, True, True, 12)
+    DIV = OpcodeInfo("div", FuncClass.INT_DIV, OperandFormat.R, True, True, True, 13)
+    REM = OpcodeInfo("rem", FuncClass.INT_DIV, OperandFormat.R, True, True, True, 14)
+
+    # -- integer ALU, register-immediate ------------------------------------
+    ADDI = OpcodeInfo("addi", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 20)
+    ANDI = OpcodeInfo("andi", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 21)
+    ORI = OpcodeInfo("ori", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 22)
+    XORI = OpcodeInfo("xori", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 23)
+    SLLI = OpcodeInfo("slli", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 24)
+    SRLI = OpcodeInfo("srli", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 25)
+    SRAI = OpcodeInfo("srai", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 26)
+    SLTI = OpcodeInfo("slti", FuncClass.INT_ALU, OperandFormat.I, True, True, False, 27)
+    LI = OpcodeInfo("li", FuncClass.INT_ALU, OperandFormat.LI, True, False, False, 28)
+
+    # -- memory --------------------------------------------------------------
+    LB = OpcodeInfo("lb", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 30)
+    LH = OpcodeInfo("lh", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 31)
+    LW = OpcodeInfo("lw", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 32)
+    LD = OpcodeInfo("ld", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 33)
+    LBU = OpcodeInfo("lbu", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 34)
+    LHU = OpcodeInfo("lhu", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 35)
+    LWU = OpcodeInfo("lwu", FuncClass.LOAD, OperandFormat.MEM, True, True, False, 36)
+    SB = OpcodeInfo("sb", FuncClass.STORE, OperandFormat.MEM, False, True, True, 37)
+    SH = OpcodeInfo("sh", FuncClass.STORE, OperandFormat.MEM, False, True, True, 38)
+    SW = OpcodeInfo("sw", FuncClass.STORE, OperandFormat.MEM, False, True, True, 39)
+    SD = OpcodeInfo("sd", FuncClass.STORE, OperandFormat.MEM, False, True, True, 40)
+
+    # -- control flow ----------------------------------------------------------
+    BEQ = OpcodeInfo("beq", FuncClass.BRANCH, OperandFormat.B, False, True, True, 50)
+    BNE = OpcodeInfo("bne", FuncClass.BRANCH, OperandFormat.B, False, True, True, 51)
+    BLT = OpcodeInfo("blt", FuncClass.BRANCH, OperandFormat.B, False, True, True, 52)
+    BGE = OpcodeInfo("bge", FuncClass.BRANCH, OperandFormat.B, False, True, True, 53)
+    BLTU = OpcodeInfo("bltu", FuncClass.BRANCH, OperandFormat.B, False, True, True, 54)
+    BGEU = OpcodeInfo("bgeu", FuncClass.BRANCH, OperandFormat.B, False, True, True, 55)
+    JAL = OpcodeInfo("jal", FuncClass.JUMP, OperandFormat.J, True, False, False, 56)
+    JALR = OpcodeInfo("jalr", FuncClass.JUMP, OperandFormat.JR, True, True, False, 57)
+
+    # -- system ---------------------------------------------------------------
+    NOP = OpcodeInfo("nop", FuncClass.INT_ALU, OperandFormat.NONE, False, False, False, 60)
+    HALT = OpcodeInfo("halt", FuncClass.SYSTEM, OperandFormat.NONE, False, False, False, 61)
+    FENCE = OpcodeInfo("fence", FuncClass.SYSTEM, OperandFormat.NONE, False, False, False, 62)
+    # cflush: clflush-style line invalidate; executes like a load (address =
+    # rs1+imm, gated by security policies as a transmitter) but writes no
+    # register and returns no data.
+    CFLUSH = OpcodeInfo("cflush", FuncClass.LOAD, OperandFormat.MEM, False, True, False, 63)
+    # rdcycle: serializing read of the cycle counter (rdtscp-style); issues
+    # only as the oldest instruction so in-program timing is meaningful.
+    RDCYCLE = OpcodeInfo("rdcycle", FuncClass.SYSTEM, OperandFormat.LI, True, False, False, 64)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def mnemonic(self) -> str:
+        return self.value.mnemonic
+
+    @property
+    def func_class(self) -> FuncClass:
+        return self.value.func_class
+
+    @property
+    def fmt(self) -> OperandFormat:
+        return self.value.fmt
+
+    @property
+    def code(self) -> int:
+        return self.value.code
+
+    @property
+    def writes_rd(self) -> bool:
+        return self.value.writes_rd
+
+    @property
+    def reads_rs1(self) -> bool:
+        return self.value.reads_rs1
+
+    @property
+    def reads_rs2(self) -> bool:
+        return self.value.reads_rs2
+
+    @property
+    def is_load(self) -> bool:
+        return self.func_class is FuncClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.func_class is FuncClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional branch only (not jumps)."""
+        return self.func_class is FuncClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.func_class is FuncClass.JUMP
+
+    @property
+    def is_control(self) -> bool:
+        """Any instruction that can redirect the PC."""
+        return self.is_branch or self.is_jump or self is Opcode.HALT
+
+    @property
+    def access_size(self) -> int:
+        """Bytes touched by a memory opcode (1/2/4/8); raises otherwise."""
+        size = _ACCESS_SIZES.get(self)
+        if size is None:
+            raise IsaError(f"{self.mnemonic} is not a memory opcode")
+        return size
+
+
+_ACCESS_SIZES: dict[Opcode, int] = {
+    Opcode.LB: 1, Opcode.LBU: 1, Opcode.SB: 1,
+    Opcode.LH: 2, Opcode.LHU: 2, Opcode.SH: 2,
+    Opcode.LW: 4, Opcode.LWU: 4, Opcode.SW: 4,
+    Opcode.LD: 8, Opcode.SD: 8,
+    Opcode.CFLUSH: 1,
+}
+
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {op.mnemonic: op for op in Opcode}
+"""Lookup used by the assembler."""
+
+CODE_TO_OPCODE: dict[int, Opcode] = {op.code: op for op in Opcode}
+"""Lookup used by the instruction decoder."""

@@ -1,0 +1,72 @@
+"""Architectural register file definition for the mini-RISC ISA.
+
+The ISA has 32 general-purpose 64-bit integer registers, ``x0``-``x31``.
+``x0`` is hardwired to zero, like RISC-V.  A RISC-V-flavoured ABI naming
+scheme is provided so that hand-written assembly stays readable.
+"""
+
+from __future__ import annotations
+
+from ..errors import IsaError
+
+NUM_REGS = 32
+
+XLEN = 64
+"""Register width in bits."""
+
+WORD_MASK = (1 << XLEN) - 1
+"""Mask used to wrap arithmetic to 64 bits."""
+
+ZERO_REG = 0
+"""Index of the hardwired-zero register."""
+
+_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+ABI_NAMES: tuple[str, ...] = _ABI_NAMES
+"""ABI name of register ``i`` is ``ABI_NAMES[i]``."""
+
+_NAME_TO_INDEX: dict[str, int] = {}
+for _i, _name in enumerate(_ABI_NAMES):
+    _NAME_TO_INDEX[_name] = _i
+for _i in range(NUM_REGS):
+    _NAME_TO_INDEX[f"x{_i}"] = _i
+# 'fp' is the conventional alias for s0.
+_NAME_TO_INDEX["fp"] = 8
+
+
+def parse_register(name: str) -> int:
+    """Resolve a register name (``x7``, ``a0``, ``fp``...) to its index.
+
+    Raises :class:`IsaError` for unknown names or out-of-range ``xN``.
+    """
+    key = name.strip().lower()
+    if key in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[key]
+    raise IsaError(f"unknown register {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Return the ABI name for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise IsaError(f"register index {index} out of range 0..{NUM_REGS - 1}")
+    return _ABI_NAMES[index]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned word as a signed two's-complement value."""
+    value &= WORD_MASK
+    if value >= 1 << (XLEN - 1):
+        value -= 1 << XLEN
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into the unsigned 64-bit register domain."""
+    return value & WORD_MASK

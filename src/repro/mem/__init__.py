@@ -1,0 +1,43 @@
+"""Memory subsystem: backing store, caches, MSHRs, DRAM, prefetchers."""
+
+from .backing import PAGE_SIZE, SparseMemory
+from .cache import Cache, CacheGeometry, CacheStats
+from .dram import DramModel
+from .hierarchy import MemHierarchyConfig, MemoryHierarchy
+from .mshr import MshrFile
+from .prefetch import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from .replacement import (
+    LruPolicy,
+    ReplacementPolicy,
+    SeededRandomPolicy,
+    TreePlruPolicy,
+    make_replacement,
+)
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "DramModel",
+    "LruPolicy",
+    "MemHierarchyConfig",
+    "MemoryHierarchy",
+    "MshrFile",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "PAGE_SIZE",
+    "Prefetcher",
+    "ReplacementPolicy",
+    "SeededRandomPolicy",
+    "SparseMemory",
+    "StridePrefetcher",
+    "TreePlruPolicy",
+    "make_prefetcher",
+    "make_replacement",
+]

@@ -1,0 +1,84 @@
+"""Sparse byte-addressable backing memory.
+
+Shared by the functional simulator (directly) and the timing memory
+hierarchy (as the storage behind the caches).  Pages are allocated lazily so
+programs can use a large, mostly-empty address space (stack at 8 MiB, data at
+1 MiB) without cost.
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryFault
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class SparseMemory:
+    """Little-endian sparse memory with lazy 4 KiB pages."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page = self._pages.get(address >> PAGE_BITS)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[address >> PAGE_BITS] = page
+        return page
+
+    # ------------------------------------------------------------- block ops
+    def load_image(self, base: int, image: bytes) -> None:
+        """Copy an initial image (e.g. the program's data segment) in."""
+        for i, byte in enumerate(image):
+            self._page(base + i)[(base + i) & PAGE_MASK] = byte
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        out = bytearray(size)
+        for i in range(size):
+            a = address + i
+            page = self._pages.get(a >> PAGE_BITS)
+            out[i] = page[a & PAGE_MASK] if page is not None else 0
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        for i, byte in enumerate(data):
+            a = address + i
+            self._page(a)[a & PAGE_MASK] = byte
+
+    # -------------------------------------------------------------- word ops
+    def read_int(self, address: int, size: int, signed: bool = False) -> int:
+        return int.from_bytes(
+            self.read_bytes(address, size), "little", signed=signed
+        )
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+
+    # ------------------------------------------------------------- utilities
+    def copy(self) -> "SparseMemory":
+        """Deep copy (used to snapshot state for differential tests)."""
+        clone = SparseMemory()
+        clone._pages = {k: bytearray(v) for k, v in self._pages.items()}
+        return clone
+
+    def touched_pages(self) -> list[int]:
+        """Page numbers that have been allocated, in order."""
+        return sorted(self._pages)
+
+    def equal_contents(self, other: "SparseMemory") -> bool:
+        """Content equality that ignores untouched-but-allocated zero pages."""
+        zero = bytes(PAGE_SIZE)
+        pages = set(self._pages) | set(other._pages)
+        for number in pages:
+            mine = bytes(self._pages.get(number, zero))
+            theirs = bytes(other._pages.get(number, zero))
+            if mine != theirs:
+                return False
+        return True

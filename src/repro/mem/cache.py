@@ -1,0 +1,170 @@
+"""Set-associative cache model (presence + timing).
+
+A deliberate and documented simplification (DESIGN.md): caches track *which
+lines are present and dirty* but hold no data — architectural data always
+comes from the backing :class:`~repro.mem.backing.SparseMemory` plus the
+core's store queue.  This is exactly the fidelity cache side channels need
+(flush+reload and prime+probe only observe line presence and latency) while
+keeping coherence trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .replacement import make_replacement
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "miss_rate": self.miss_rate,
+        }
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size parameters of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 3
+    replacement: str = "lru"
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if sets <= 0 or sets & (sets - 1):
+            raise ConfigError(
+                f"{self.name}: {self.size_bytes}B/{self.assoc}way/"
+                f"{self.line_bytes}B gives non-power-of-two set count {sets}"
+            )
+        return sets
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.num_sets = geometry.num_sets
+        self.line_bits = geometry.line_bytes.bit_length() - 1
+        if (1 << self.line_bits) != geometry.line_bytes:
+            raise ConfigError(f"line size {geometry.line_bytes} not a power of two")
+        self._tags: list[list[int]] = [[0] * geometry.assoc for _ in range(self.num_sets)]
+        self._valid: list[list[bool]] = [
+            [False] * geometry.assoc for _ in range(self.num_sets)
+        ]
+        self._dirty: list[list[bool]] = [
+            [False] * geometry.assoc for _ in range(self.num_sets)
+        ]
+        self._repl = make_replacement(geometry.replacement, self.num_sets, geometry.assoc)
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------- addressing
+    def line_of(self, address: int) -> int:
+        return address >> self.line_bits
+
+    def _set_tag(self, line: int) -> tuple[int, int]:
+        return line % self.num_sets, line // self.num_sets
+
+    def _find(self, line: int) -> tuple[int, int | None]:
+        set_index, tag = self._set_tag(line)
+        tags = self._tags[set_index]
+        valid = self._valid[set_index]
+        for way in range(self.geometry.assoc):
+            if valid[way] and tags[way] == tag:
+                return set_index, way
+        return set_index, None
+
+    # -------------------------------------------------------------- queries
+    def contains(self, address: int) -> bool:
+        """Presence probe with NO side effects (attack receivers use this)."""
+        _, way = self._find(self.line_of(address))
+        return way is not None
+
+    # -------------------------------------------------------------- accesses
+    def access(self, address: int, is_write: bool) -> bool:
+        """Look up the line; updates recency and stats.  True on hit."""
+        line = self.line_of(address)
+        set_index, way = self._find(line)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        self._repl.on_access(set_index, way)
+        if is_write:
+            self._dirty[set_index][way] = True
+        return True
+
+    def fill(self, address: int, dirty: bool = False) -> int | None:
+        """Install the line; returns the evicted line number (or None).
+
+        Counts a writeback when the victim was dirty.
+        """
+        line = self.line_of(address)
+        set_index, way = self._find(line)
+        if way is not None:
+            # Already present (e.g. race between demand fill and prefetch).
+            self._repl.on_access(set_index, way)
+            if dirty:
+                self._dirty[set_index][way] = True
+            return None
+        _, tag = self._set_tag(line)
+        victim_way = self._repl.victim(set_index, self._valid[set_index])
+        evicted: int | None = None
+        if self._valid[set_index][victim_way]:
+            self.stats.evictions += 1
+            if self._dirty[set_index][victim_way]:
+                self.stats.writebacks += 1
+            evicted = self._tags[set_index][victim_way] * self.num_sets + set_index
+        self._tags[set_index][victim_way] = tag
+        self._valid[set_index][victim_way] = True
+        self._dirty[set_index][victim_way] = dirty
+        self._repl.on_fill(set_index, victim_way)
+        return evicted
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line if present; True if it was present."""
+        line = self.line_of(address)
+        set_index, way = self._find(line)
+        if way is None:
+            return False
+        if self._dirty[set_index][way]:
+            self.stats.writebacks += 1
+        self._valid[set_index][way] = False
+        self._dirty[set_index][way] = False
+        self.stats.flushes += 1
+        return True
+
+    # ------------------------------------------------------------- utilities
+    def resident_lines(self) -> set[int]:
+        """All resident line numbers (test/debug aid)."""
+        lines = set()
+        for set_index in range(self.num_sets):
+            for way in range(self.geometry.assoc):
+                if self._valid[set_index][way]:
+                    lines.add(self._tags[set_index][way] * self.num_sets + set_index)
+        return lines

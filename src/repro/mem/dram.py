@@ -1,0 +1,51 @@
+"""Main-memory latency/bandwidth model.
+
+Fixed access latency plus a single-channel occupancy model: each request
+occupies the channel for ``cycles_per_access`` cycles, so bursts of misses
+queue behind each other.  Optionally models an open-row bonus: consecutive
+accesses to the same DRAM row are faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    requests: int = 0
+    row_hits: int = 0
+    queue_cycles: int = 0
+
+
+class DramModel:
+    """Deterministic single-channel DRAM."""
+
+    def __init__(
+        self,
+        latency: int = 120,
+        cycles_per_access: int = 4,
+        row_bytes: int = 4096,
+        row_hit_discount: int = 40,
+    ):
+        self.latency = latency
+        self.cycles_per_access = cycles_per_access
+        self.row_bits = row_bytes.bit_length() - 1
+        self.row_hit_discount = row_hit_discount
+        self._channel_free = 0
+        self._open_row: int | None = None
+        self.stats = DramStats()
+
+    def access(self, address: int, cycle: int) -> int:
+        """Issue a request; returns its completion cycle."""
+        self.stats.requests += 1
+        start = max(cycle, self._channel_free)
+        self.stats.queue_cycles += start - cycle
+        row = address >> self.row_bits
+        latency = self.latency
+        if row == self._open_row:
+            latency -= self.row_hit_discount
+            self.stats.row_hits += 1
+        self._open_row = row
+        self._channel_free = start + self.cycles_per_access
+        return start + latency

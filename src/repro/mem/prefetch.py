@@ -1,0 +1,92 @@
+"""Hardware prefetchers (optional, used by the memory-system ablation).
+
+Prefetchers observe demand loads and suggest lines to pull into the L2.
+They are timing-free (fills are modeled as arriving instantly), which makes
+them slightly optimistic; the experiments that compare security policies run
+with prefetching off by default so the policy effect is isolated.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class Prefetcher(abc.ABC):
+    """Interface: observe a demand access, propose prefetch addresses."""
+
+    name = "none"
+
+    @abc.abstractmethod
+    def observe(self, pc: int, address: int) -> list[int]:
+        """Return addresses to prefetch after this demand access."""
+
+
+class NullPrefetcher(Prefetcher):
+    name = "none"
+
+    def observe(self, pc: int, address: int) -> list[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the sequentially next N lines."""
+
+    name = "next_line"
+
+    def __init__(self, line_bytes: int = 64, degree: int = 1):
+        self.line_bytes = line_bytes
+        self.degree = degree
+
+    def observe(self, pc: int, address: int) -> list[int]:
+        base = (address // self.line_bytes) * self.line_bytes
+        return [base + self.line_bytes * (i + 1) for i in range(self.degree)]
+
+
+@dataclass
+class _StrideEntry:
+    last_address: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """PC-indexed stride prefetcher with 2-bit confidence."""
+
+    name = "stride"
+
+    def __init__(self, table_entries: int = 256, degree: int = 2, threshold: int = 2):
+        self._mask = table_entries - 1
+        self._table: dict[int, _StrideEntry] = {}
+        self.degree = degree
+        self.threshold = threshold
+
+    def observe(self, pc: int, address: int) -> list[int]:
+        key = (pc >> 2) & self._mask
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _StrideEntry(address)
+            return []
+        stride = address - entry.last_address
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 3)
+        else:
+            entry.confidence = max(entry.confidence - 1, 0)
+            entry.stride = stride
+        entry.last_address = address
+        if entry.confidence >= self.threshold and entry.stride:
+            return [address + entry.stride * (i + 1) for i in range(self.degree)]
+        return []
+
+
+PREFETCHERS = {
+    "none": NullPrefetcher,
+    "next_line": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    if name not in PREFETCHERS:
+        raise ValueError(f"unknown prefetcher {name!r}")
+    return PREFETCHERS[name](**kwargs)

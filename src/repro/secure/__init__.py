@@ -1,0 +1,34 @@
+"""Secure-speculation policies: the paper's contribution and its baselines."""
+
+from .baselines import (
+    CttPolicy,
+    DelayOnMissPolicy,
+    FencePolicy,
+    NdaPolicy,
+    NoProtection,
+    SttPolicy,
+)
+from .levioso import LeviosoPolicy
+from .policy import PolicyStats, SpeculationPolicy
+from .registry import (
+    ALL_POLICY_NAMES,
+    COMPREHENSIVE_POLICY_NAMES,
+    POLICY_CLASSES,
+    make_policy,
+)
+
+__all__ = [
+    "ALL_POLICY_NAMES",
+    "COMPREHENSIVE_POLICY_NAMES",
+    "CttPolicy",
+    "DelayOnMissPolicy",
+    "FencePolicy",
+    "LeviosoPolicy",
+    "NdaPolicy",
+    "NoProtection",
+    "POLICY_CLASSES",
+    "PolicyStats",
+    "SpeculationPolicy",
+    "SttPolicy",
+    "make_policy",
+]

@@ -1,0 +1,82 @@
+"""The Levioso policy: compiler-informed comprehensive secure speculation.
+
+Levioso provides the same guarantee as :class:`~repro.secure.baselines.CttPolicy`
+— no transmitter may reveal a (speculative or non-speculative) secret while
+its execution is still contingent on unresolved speculation — but replaces
+the conservative "younger than any unresolved branch" test with the **true
+dependency** test built from compiler metadata:
+
+* an instruction's *control dependencies* are the in-flight branches whose
+  reconvergence point had not been fetched when the instruction entered the
+  pipeline (tracked by the front end from the compiler's reconvergence PCs),
+* its *data dependencies* fold in the dependencies of every producer in its
+  operand lineage (tracked through rename, execution and store-forwarding).
+
+A transmitter with a memory-derived (potentially secret) address is delayed
+only while one of its *true* branch dependencies is unresolved.  A load past
+the reconvergence point of every unresolved branch, whose address does not
+descend from any value produced under those branches, executes identically
+on every outstanding speculative path — so it can reveal no more than the
+committed execution would, under either threat model.
+
+Security argument (paper Section 3, reconstructed): leakage requires the
+transmitted address to differ across speculative outcomes of some unresolved
+branch B.  That requires either (a) the transmitter executing on one outcome
+of B but not the other — control dependence, or (b) the address value being
+produced differently under B's outcomes — data dependence on a B-dependent
+producer.  Both are exactly the dependencies tracked here; with none
+present, the transmission is outcome-invariant and therefore safe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import SpeculationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..uarch.core import OooCore
+    from ..uarch.dyninst import DynInst
+
+
+class LeviosoPolicy(SpeculationPolicy):
+    """Compiler-informed comprehensive secure speculation.
+
+    ``max_tracked_deps`` models a bounded hardware dependency matrix: when
+    an instruction's true-dependency set exceeds the matrix width, the
+    hardware cannot represent it precisely and must fall back to the
+    conservative rule (wait for *all* older control instructions) — the
+    storage-budget ablation. ``None`` models the paper's full tracking.
+    """
+
+    name = "levioso"
+    protects_speculative_secrets = True
+    protects_nonspeculative_secrets = True
+
+    def __init__(self, max_tracked_deps: int | None = None):
+        super().__init__()
+        self.max_tracked_deps = max_tracked_deps
+
+    def _deps_safe(self, deps, dyn: "DynInst", core: "OooCore") -> bool:
+        width = self.max_tracked_deps
+        if width is None:
+            return not core.any_unresolved(deps)
+        # Matrix columns exist per *unresolved* branch and clear at
+        # resolution, so the width bound applies to live dependencies only.
+        live = deps & core.unresolved_ctrl
+        if len(live) > width:
+            # More live dependencies than columns: conservative fallback.
+            return not core.has_unresolved_ctrl_older_than(dyn.seq)
+        return not live
+
+    def may_issue_load(self, dyn: "DynInst", core: "OooCore") -> bool:
+        if not dyn.addr_tainted():
+            # Address provably derives from no memory value: transmitting it
+            # reveals only register-computed data, public in both models.
+            return True
+        return self._deps_safe(dyn.addr_deps(), dyn, core)
+
+    def may_issue_branch(self, dyn: "DynInst", core: "OooCore") -> bool:
+        if not dyn.operand_tainted():
+            return True
+        return self._deps_safe(dyn.input_deps(), dyn, core)

@@ -1,0 +1,46 @@
+"""Policy registry: names -> policy factories."""
+
+from __future__ import annotations
+
+from ..errors import PolicyError
+from .baselines import (
+    CttPolicy,
+    DelayOnMissPolicy,
+    FencePolicy,
+    NdaPolicy,
+    NoProtection,
+    SttPolicy,
+)
+from .levioso import LeviosoPolicy
+from .policy import SpeculationPolicy
+
+POLICY_CLASSES: dict[str, type[SpeculationPolicy]] = {
+    NoProtection.name: NoProtection,
+    FencePolicy.name: FencePolicy,
+    DelayOnMissPolicy.name: DelayOnMissPolicy,
+    NdaPolicy.name: NdaPolicy,
+    SttPolicy.name: SttPolicy,
+    CttPolicy.name: CttPolicy,
+    LeviosoPolicy.name: LeviosoPolicy,
+}
+
+ALL_POLICY_NAMES = tuple(POLICY_CLASSES)
+
+COMPREHENSIVE_POLICY_NAMES = tuple(
+    name
+    for name, cls in POLICY_CLASSES.items()
+    if cls.protects_speculative_secrets and cls.protects_nonspeculative_secrets
+)
+
+
+def make_policy(name: str, **kwargs) -> SpeculationPolicy:
+    """Instantiate a policy by name.
+
+    Raises :class:`PolicyError` for unknown names so harness typos fail
+    loudly rather than silently running unprotected.
+    """
+    if name not in POLICY_CLASSES:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {sorted(POLICY_CLASSES)}"
+        )
+    return POLICY_CLASSES[name](**kwargs)

@@ -1,0 +1,147 @@
+"""Hypothesis strategies for differential testing.
+
+Generates structured, always-terminating mini-RISC programs: straight-line
+ALU blocks, scratch-buffer loads/stores (including pointer-like tainted
+addressing), if/else diamonds and fixed-trip-count loops.  Used by this
+repository's property tests, and exported so downstream users extending the
+core or adding policies can differential-test their changes the same way::
+
+    from repro.testing import programs
+
+    @given(source=programs())
+    def test_my_policy_is_timing_only(source): ...
+
+Requires ``hypothesis`` (a dev dependency, not needed at runtime).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+# Registers the generator may clobber freely.
+DATA_REGS = ["t0", "t1", "t2", "a0", "a1", "a2", "a3", "s0", "s1", "s2"]
+# s8 = scratch base, s9/s10 = loop counters, s11 = generator temp.
+SCRATCH_SLOTS = 16
+
+_label_counter = 0
+
+
+def _label() -> str:
+    global _label_counter
+    _label_counter += 1
+    return f"H{_label_counter}"
+
+
+reg = st.sampled_from(DATA_REGS)
+imm = st.integers(min_value=-64, max_value=64)
+slot = st.integers(min_value=0, max_value=SCRATCH_SLOTS - 1)
+
+
+@st.composite
+def alu_stmt(draw) -> list[str]:
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "mul"]))
+    rd, rs1, rs2 = draw(reg), draw(reg), draw(reg)
+    return [f"    {op} {rd}, {rs1}, {rs2}"]
+
+
+@st.composite
+def alui_stmt(draw) -> list[str]:
+    op = draw(st.sampled_from(["addi", "andi", "ori", "xori"]))
+    rd, rs1 = draw(reg), draw(reg)
+    value = draw(imm)
+    return [f"    {op} {rd}, {rs1}, {value}"]
+
+
+@st.composite
+def store_stmt(draw) -> list[str]:
+    rs = draw(reg)
+    offset = draw(slot) * 8
+    return [f"    sd {rs}, {offset}(s8)"]
+
+
+@st.composite
+def load_stmt(draw) -> list[str]:
+    rd = draw(reg)
+    offset = draw(slot) * 8
+    return [f"    ld {rd}, {offset}(s8)"]
+
+
+@st.composite
+def tainted_load_stmt(draw) -> list[str]:
+    """Pointer-like access: index computed from previously loaded data."""
+    rd, rs = draw(reg), draw(reg)
+    offset = draw(slot) * 8
+    return [
+        f"    ld s11, {offset}(s8)",
+        f"    andi s11, s11, {(SCRATCH_SLOTS - 1) * 8}",
+        "    andi s11, s11, -8",
+        "    add s11, s11, s8",
+        f"    ld {rd}, 0(s11)",
+        f"    add {rd}, {rd}, {rs}",
+    ]
+
+
+@st.composite
+def diamond_stmt(draw) -> list[str]:
+    cond_reg = draw(reg)
+    opcode = draw(st.sampled_from(["beqz", "bnez"]))
+    then_body = draw(st.lists(simple_stmt(), min_size=1, max_size=3))
+    else_body = draw(st.lists(simple_stmt(), min_size=0, max_size=3))
+    else_label, join_label = _label(), _label()
+    lines = [f"    {opcode} {cond_reg}, {else_label}"]
+    for body in then_body:
+        lines.extend(body)
+    lines.append(f"    j {join_label}")
+    lines.append(f"{else_label}:")
+    for body in else_body:
+        lines.extend(body)
+    lines.append(f"{join_label}:")
+    return lines
+
+
+@st.composite
+def loop_stmt(draw) -> list[str]:
+    trips = draw(st.integers(min_value=1, max_value=6))
+    body = draw(st.lists(simple_stmt(), min_size=1, max_size=4))
+    head = _label()
+    lines = [f"    li s9, {trips}", f"{head}:"]
+    for stmt in body:
+        lines.extend(stmt)
+    lines.append("    addi s9, s9, -1")
+    lines.append(f"    bnez s9, {head}")
+    return lines
+
+
+def simple_stmt():
+    return st.one_of(alu_stmt(), alui_stmt(), store_stmt(), load_stmt())
+
+
+def top_stmt():
+    return st.one_of(
+        alu_stmt(),
+        alui_stmt(),
+        store_stmt(),
+        load_stmt(),
+        tainted_load_stmt(),
+        diamond_stmt(),
+        loop_stmt(),
+    )
+
+
+@st.composite
+def programs(draw) -> str:
+    """A complete assembly source: prologue + random body + halt."""
+    seeds = draw(st.lists(imm, min_size=3, max_size=6))
+    body = draw(st.lists(top_stmt(), min_size=3, max_size=10))
+    lines = [
+        ".data",
+        f"scratch: .zero {SCRATCH_SLOTS * 8}",
+        ".text",
+        "    la s8, scratch",
+    ]
+    for i, value in enumerate(seeds):
+        lines.append(f"    li {DATA_REGS[i % len(DATA_REGS)]}, {value}")
+    for stmt in body:
+        lines.extend(stmt)
+    lines.append("    halt")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Out-of-order core: configuration, dynamic instructions, the pipeline."""
+
+from .config import CoreConfig
+from .core import OooCore, SimResult
+from .dyninst import Checkpoint, DynInst, Stage
+from .energy import EnergyBreakdown, EnergyParams, energy_delay_product, estimate_energy
+from .stats import CoreStats
+from .trace import gate_summary, render_timeline
+
+__all__ = [
+    "Checkpoint",
+    "CoreConfig",
+    "CoreStats",
+    "DynInst",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "OooCore",
+    "SimResult",
+    "Stage",
+    "energy_delay_product",
+    "estimate_energy",
+    "gate_summary",
+    "render_timeline",
+]

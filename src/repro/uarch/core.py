@@ -1,0 +1,864 @@
+"""The out-of-order superscalar core.
+
+A cycle-level model with the structural mechanisms that secure-speculation
+overheads come from: a ROB-bounded window, wakeup/select issue, a load/store
+queue with forwarding and conservative memory disambiguation, branch
+prediction with full squash recovery, a three-level cache hierarchy — and a
+pluggable :class:`~repro.secure.policy.SpeculationPolicy` consulted before
+any transmitter (load/cflush) is allowed to access the memory system.
+
+Speculation is *real*: wrong-path instructions execute, touch the caches,
+and are squashed — which is exactly what the Spectre attack evaluation
+observes and the defenses must prevent from transmitting.
+
+Stage order within a cycle: completions (incl. branch resolution/squash) ->
+commit -> issue -> dispatch -> fetch.  A producer completing at cycle C can
+wake a consumer that issues at C (1-cycle back-to-back bypass).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..asm.program import STACK_TOP, Program
+from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
+from ..compiler.pass_manager import ensure_analysis
+from ..errors import SimulationError, TimeoutError_
+from ..functional import semantics
+from ..isa import INSTRUCTION_BYTES, NUM_REGS, Opcode, to_unsigned
+from ..mem.backing import SparseMemory
+from ..mem.hierarchy import MemoryHierarchy
+from ..secure.baselines import NoProtection
+from ..secure.policy import SpeculationPolicy
+from .config import CoreConfig
+from .dyninst import Checkpoint, DynInst, Stage
+from .stats import CoreStats
+
+_WATCHDOG_CYCLES = 100_000  # no-commit window before declaring deadlock
+
+
+@dataclass
+class SimResult:
+    """Outcome of one out-of-order run."""
+
+    stats: CoreStats
+    regs: tuple[int, ...]
+    memory: SparseMemory
+    policy_name: str
+    committed_pcs: list[int] = field(default_factory=list)
+    hierarchy: MemoryHierarchy | None = None
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def stats_dict(self) -> dict:
+        """Machine-readable run summary (core + memory counters)."""
+        out = {"policy": self.policy_name}
+        out.update(self.stats.as_dict())
+        if self.hierarchy is not None:
+            out["memory"] = self.hierarchy.stats()
+        return out
+
+
+class OooCore:
+    """One out-of-order core executing one program under one policy."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: CoreConfig | None = None,
+        policy: SpeculationPolicy | None = None,
+        record_trace: bool = False,
+        record_pipeline: bool = False,
+        use_compiler_info: bool = True,
+    ):
+        self.program = program
+        self.config = config or CoreConfig()
+        self.policy = policy or NoProtection()
+        self.record_trace = record_trace
+        self.record_pipeline = record_pipeline
+        self.retired: list[DynInst] = []
+
+        # Compiler metadata (Levioso's software half). Always computed: the
+        # tracker is part of the hardware model; policies decide whether to
+        # use it. `use_compiler_info=False` models shipping no metadata.
+        analysis = ensure_analysis(program)
+        if use_compiler_info:
+            self._reconv_of = dict(analysis.reconv_pc)
+        else:
+            self._reconv_of = {pc: None for pc in analysis.reconv_pc}
+
+        # Architectural state
+        self.arf = [0] * NUM_REGS
+        self.arf[2] = STACK_TOP  # sp
+        self.arf_taint = [False] * NUM_REGS
+        self.memory = SparseMemory()
+        self.memory.load_image(program.data_base, program.data)
+
+        # Front end
+        self.fetch_pc = program.entry
+        self.predictor = make_predictor(self.config.predictor)
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.ras = ReturnAddressStack(self.config.ras_depth)
+        self.fetch_queue: list[DynInst] = []
+        self.fetch_stalled_on: DynInst | None = None  # unpredicted jalr
+        self.fetch_wild = False                        # ran off the text segment
+        self.halt_fetched = False
+        self.active_regions: list[list] = []  # [branch_seq, reconv_pc, active]
+        self._fetch_resume_cycle = 0          # L1I miss stall
+        self._last_fetch_line: int | None = None
+
+        # Back end
+        self.rename_map: list[DynInst | None] = [None] * NUM_REGS
+        self.rob: list[DynInst] = []
+        self.store_queue: list[DynInst] = []
+        self.iq_count = 0
+        self.lq_count = 0
+        self.sq_count = 0
+        self.ready: list[tuple[int, DynInst]] = []      # (seq, dyn) heap
+        self.pending_loads: list[DynInst] = []          # blocked mem ops
+        self.pending_ctrl: list[DynInst] = []           # policy-gated branches
+        self.serialize_wait: list[DynInst] = []         # rdcycle/fence
+        self.deferred_values: list[DynInst] = []        # NDA-deferred loads
+        self.completions: list[tuple[int, int, DynInst]] = []
+        self.unresolved_ctrl: set[int] = set()
+        self.inflight_loads: dict[int, DynInst] = {}
+        self.inflight_fences: set[int] = set()
+
+        self.hierarchy = MemoryHierarchy(self.config.mem)
+        self.stats = CoreStats()
+        self.committed_pcs: list[int] = []
+
+        self._next_seq = 0
+        self._cycle = 0
+        self._done = False
+        self._last_commit_cycle = 0
+        # Gate-retry events: pending (policy/memdep-blocked) instructions are
+        # re-evaluated only when something that can change a gate decision
+        # happened (completion, commit, squash, a cache fill) — gate
+        # predicates are pure functions of that state, so skipping quiet
+        # cycles is safe and makes long stalls cheap to simulate.
+        self._retry_event = True
+        self._min_unresolved: int | None = None
+        self._unresolved_dirty = False
+
+    # ------------------------------------------------------------------ API
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def run(self, max_cycles: int | None = None) -> SimResult:
+        """Run to HALT; returns the result bundle."""
+        limit = max_cycles or self.config.max_cycles
+        while not self._done:
+            if self._cycle >= limit:
+                raise TimeoutError_(
+                    f"OoO run exceeded {limit} cycles "
+                    f"(committed {self.stats.committed})"
+                )
+            if self._cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+                raise SimulationError(
+                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
+                    f"{self._cycle}: likely scheduler deadlock "
+                    f"(rob head: {self.rob[0] if self.rob else None})"
+                )
+            self.step()
+        self.stats.cycles = self._cycle
+        return SimResult(
+            stats=self.stats,
+            regs=tuple(self.arf),
+            memory=self.memory,
+            policy_name=self.policy.name,
+            committed_pcs=self.committed_pcs,
+            hierarchy=self.hierarchy,
+        )
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        cycle = self._cycle
+        self._process_completions(cycle)
+        self._commit(cycle)
+        if not self._done:
+            self._issue(cycle)
+            self._dispatch(cycle)
+            self._fetch(cycle)
+        self._cycle = cycle + 1
+
+    # ----------------------------------------------------- policy interface
+    def has_unresolved_ctrl_older_than(self, seq: int) -> bool:
+        """Any in-flight unresolved branch/indirect-jump older than ``seq``?"""
+        if self._unresolved_dirty:
+            self._min_unresolved = (
+                min(self.unresolved_ctrl) if self.unresolved_ctrl else None
+            )
+            self._unresolved_dirty = False
+        oldest = self._min_unresolved
+        return oldest is not None and oldest < seq
+
+    def any_unresolved(self, deps: frozenset[int]) -> bool:
+        """Is any of these branch seqs still unresolved?"""
+        if not deps:
+            return False
+        unresolved = self.unresolved_ctrl
+        if not unresolved:
+            return False
+        if len(deps) < len(unresolved):
+            return any(d in unresolved for d in deps)
+        return any(u in deps for u in unresolved)
+
+    def is_load_root_unsafe(self, root_seq: int) -> bool:
+        """STT visibility: root load still in flight and still speculative."""
+        if root_seq not in self.inflight_loads:
+            return False  # committed (visible) or squashed (consumer dies too)
+        return self.has_unresolved_ctrl_older_than(root_seq)
+
+    # ---------------------------------------------------------------- fetch
+    def _fetch(self, cycle: int) -> None:
+        if (
+            self.halt_fetched
+            or self.fetch_wild
+            or self.fetch_stalled_on is not None
+            or cycle < self._fetch_resume_cycle
+        ):
+            self.stats.fetch_stall_cycles += 1
+            return
+        budget = self.config.fetch_width
+        while budget > 0 and len(self.fetch_queue) < self.config.fetch_queue_size:
+            inst = self.program.try_inst_at(self.fetch_pc)
+            if inst is None:
+                self.fetch_wild = True  # wrong path off the text segment
+                return
+            line = self.fetch_pc >> self.hierarchy.l1i.line_bits
+            if line != self._last_fetch_line:
+                ready = self.hierarchy.fetch(self.fetch_pc, cycle)
+                self._last_fetch_line = line
+                if ready > cycle:
+                    # L1I miss: the packet ends; resume when the line fills.
+                    self._fetch_resume_cycle = ready
+                    return
+            dyn = DynInst(seq=self._next_seq, inst=inst, fetch_cycle=cycle)
+            self._next_seq += 1
+            self.stats.fetched += 1
+            budget -= 1
+
+            # Reconvergence tracker: reaching a branch's reconvergence PC
+            # ends its control region (a closed region can never reopen, so
+            # it leaves the live list); then tag with the remaining ones.
+            if any(r[1] == inst.pc for r in self.active_regions):
+                self.active_regions = [
+                    r for r in self.active_regions if r[1] != inst.pc
+                ]
+            if self.active_regions:
+                dyn.control_deps = frozenset(
+                    r[0] for r in self.active_regions if r[2]
+                )
+
+            self.fetch_queue.append(dyn)
+            opcode = inst.opcode
+
+            if opcode.is_branch:
+                taken, ctx = self.predictor.predict(inst.pc)
+                dyn.predicted_taken = taken
+                dyn.predicted_target = (
+                    inst.branch_target if taken else inst.fallthrough
+                )
+                dyn.predictor_context = ctx
+                dyn.checkpoint = self._front_checkpoint(dyn)
+                self.predictor.on_speculative_branch(inst.pc, taken)
+                self.active_regions.append(
+                    [dyn.seq, self._reconv_of.get(inst.pc), True]
+                )
+                self.fetch_pc = dyn.predicted_target
+                if taken:
+                    return  # taken branches end the fetch packet
+                continue
+
+            if opcode is Opcode.JAL:
+                if inst.rd != 0:
+                    self.ras.push(inst.fallthrough)
+                self.fetch_pc = inst.imm
+                return  # taken control ends the packet
+
+            if opcode is Opcode.JALR:
+                predicted = self._predict_jalr(inst)
+                if inst.rd != 0:
+                    self.ras.push(inst.fallthrough)  # indirect call
+                if predicted is None:
+                    self.fetch_stalled_on = dyn
+                    return
+                dyn.predicted_target = predicted
+                dyn.checkpoint = self._front_checkpoint(dyn)
+                self.active_regions.append([dyn.seq, None, True])
+                self.fetch_pc = predicted
+                return
+
+            if opcode is Opcode.HALT:
+                self.halt_fetched = True
+                return
+
+            self.fetch_pc = inst.fallthrough
+
+    def _predict_jalr(self, inst) -> int | None:
+        is_return = inst.rs1 == 1 and inst.rd == 0  # jalr x0, ra, 0
+        if is_return:
+            return self.ras.pop()
+        return self.btb.lookup(inst.pc)
+
+    def _front_checkpoint(self, dyn: DynInst) -> Checkpoint:
+        """Front-end snapshot; the rename map is added at dispatch."""
+        return Checkpoint(
+            rename_map=[],
+            ras=self.ras.checkpoint(),
+            history=self.predictor.history_checkpoint(),
+            regions=[list(r) for r in self.active_regions],
+            fetch_pc_after=dyn.inst.fallthrough,
+        )
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, cycle: int) -> None:
+        width = self.config.dispatch_width
+        while width > 0 and self.fetch_queue:
+            dyn = self.fetch_queue[0]
+            if dyn.fetch_cycle + self.config.frontend_latency > cycle:
+                return
+            if len(self.rob) >= self.config.rob_size:
+                self.stats.rob_full_stalls += 1
+                return
+            opcode = dyn.opcode
+            needs_iq = opcode is not Opcode.HALT
+            if needs_iq and self.iq_count >= self.config.iq_size:
+                self.stats.iq_full_stalls += 1
+                return
+            if opcode.is_load and self.lq_count >= self.config.lq_size:
+                self.stats.lsq_full_stalls += 1
+                return
+            if opcode.is_store and self.sq_count >= self.config.sq_size:
+                self.stats.lsq_full_stalls += 1
+                return
+
+            self.fetch_queue.pop(0)
+            width -= 1
+            dyn.stage = Stage.DISPATCHED
+            dyn.dispatch_cycle = cycle
+            self._rename(dyn)
+            self.rob.append(dyn)
+
+            if dyn.checkpoint is not None:
+                dyn.checkpoint.rename_map = list(self.rename_map)
+            if dyn.inst.is_branch or (
+                dyn.opcode is Opcode.JALR and dyn.predicted_target is not None
+            ):
+                self.unresolved_ctrl.add(dyn.seq)
+                self._unresolved_dirty = True
+
+            if opcode is Opcode.HALT:
+                dyn.stage = Stage.COMPLETED
+                dyn.complete_cycle = cycle
+                dyn.propagated = True
+                continue
+
+            self.iq_count += 1
+            if opcode is Opcode.FENCE:
+                self.inflight_fences.add(dyn.seq)
+            if opcode.is_load:
+                self.lq_count += 1
+                self.inflight_loads[dyn.seq] = dyn
+            elif opcode.is_store:
+                self.sq_count += 1
+                self.store_queue.append(dyn)
+            if dyn.waiting_on == 0:
+                heapq.heappush(self.ready, (dyn.seq, dyn))
+
+    def _rename(self, dyn: DynInst) -> None:
+        inst = dyn.inst
+        opcode = inst.opcode
+        if opcode.reads_rs1 and inst.rs1 != 0:
+            producer = self.rename_map[inst.rs1]
+            if producer is not None:
+                dyn.src1_producer = producer
+                if not producer.propagated:
+                    dyn.waiting_on += 1
+                    producer.consumers.append(dyn)
+            else:
+                dyn.src1_value = self.arf[inst.rs1]
+                dyn.src1_arf_tainted = self.arf_taint[inst.rs1]
+        if opcode.reads_rs2 and inst.rs2 != 0:
+            producer = self.rename_map[inst.rs2]
+            if producer is not None:
+                dyn.src2_producer = producer
+                if not producer.propagated:
+                    dyn.waiting_on += 1
+                    producer.consumers.append(dyn)
+            else:
+                dyn.src2_value = self.arf[inst.rs2]
+                dyn.src2_arf_tainted = self.arf_taint[inst.rs2]
+        dest = inst.dest_reg()
+        if dest is not None:
+            self.rename_map[dest] = dyn
+
+    # ----------------------------------------------------------------- issue
+    def _issue(self, cycle: int) -> None:
+        budget = self.config.issue_width
+        ports = {
+            "alu": self.config.alu_ports,
+            "mul": self.config.mul_ports,
+            "div": self.config.div_ports,
+            "mem": self.config.mem_ports,
+        }
+
+        retry = self._retry_event
+        self._retry_event = False
+
+        # Release NDA-deferred values whose loads became safe.
+        if self.deferred_values and retry:
+            still_deferred: list[DynInst] = []
+            for dyn in self.deferred_values:
+                if dyn.squashed:
+                    continue
+                if self.policy.may_propagate(dyn, self):
+                    self._propagate(dyn)
+                else:
+                    still_deferred.append(dyn)
+            self.deferred_values = still_deferred
+
+        # Retry policy/memdep-blocked memory ops first (oldest first).
+        if self.pending_loads and retry:
+            self.pending_loads.sort(key=lambda d: d.seq)
+            still_blocked: list[DynInst] = []
+            for dyn in self.pending_loads:
+                if dyn.squashed:
+                    continue
+                if budget <= 0 or ports["mem"] <= 0:
+                    still_blocked.append(dyn)
+                    self._retry_event = True  # resource block: retry next cycle
+                    continue
+                issued = self._try_issue_mem(dyn, cycle)
+                if issued:
+                    budget -= 1
+                    ports["mem"] -= 1
+                else:
+                    still_blocked.append(dyn)
+            self.pending_loads = still_blocked
+
+        # Retry policy-gated control instructions (oldest first).
+        if self.pending_ctrl and retry:
+            self.pending_ctrl.sort(key=lambda d: d.seq)
+            still_gated: list[DynInst] = []
+            for dyn in self.pending_ctrl:
+                if dyn.squashed:
+                    continue
+                if budget <= 0 or ports["alu"] <= 0:
+                    still_gated.append(dyn)
+                    self._retry_event = True  # resource block: retry next cycle
+                    continue
+                if self.policy.checked_may_issue_branch(dyn, self):
+                    self._execute_alu(dyn, cycle, self.config.branch_latency)
+                    budget -= 1
+                    ports["alu"] -= 1
+                else:
+                    self._note_branch_gated(dyn, cycle)
+                    still_gated.append(dyn)
+            self.pending_ctrl = still_gated
+
+        # Serialized instructions (rdcycle/fence) wait for ROB head.
+        if self.serialize_wait:
+            remaining: list[DynInst] = []
+            for dyn in self.serialize_wait:
+                if dyn.squashed:
+                    continue
+                if (
+                    budget > 0
+                    and ports["alu"] > 0
+                    and self.rob
+                    and self.rob[0] is dyn
+                ):
+                    self._schedule(dyn, cycle, self.config.alu_latency)
+                    dyn.result = cycle
+                    budget -= 1
+                    ports["alu"] -= 1
+                else:
+                    remaining.append(dyn)
+            self.serialize_wait = remaining
+
+        overflow: list[tuple[int, DynInst]] = []
+        while budget > 0 and self.ready:
+            _, dyn = heapq.heappop(self.ready)
+            if dyn.squashed or dyn.stage is not Stage.DISPATCHED:
+                continue
+            opcode = dyn.opcode
+
+            if opcode in (Opcode.RDCYCLE, Opcode.FENCE):
+                if self.rob and self.rob[0] is dyn and ports["alu"] > 0:
+                    self._schedule(dyn, cycle, self.config.alu_latency)
+                    dyn.result = cycle
+                    budget -= 1
+                    ports["alu"] -= 1
+                else:
+                    self.serialize_wait.append(dyn)
+                continue
+
+            if opcode.is_mem:
+                if ports["mem"] <= 0:
+                    overflow.append((dyn.seq, dyn))
+                    continue
+                issued = self._try_issue_mem(dyn, cycle)
+                if issued:
+                    budget -= 1
+                    ports["mem"] -= 1
+                else:
+                    self.pending_loads.append(dyn)
+                continue
+
+            if opcode.is_branch or opcode is Opcode.JALR:
+                if not self.policy.checked_may_issue_branch(dyn, self):
+                    self._note_branch_gated(dyn, cycle)
+                    self.pending_ctrl.append(dyn)
+                    continue
+
+            port, latency = self._fu_of(opcode)
+            if ports[port] <= 0:
+                overflow.append((dyn.seq, dyn))
+                continue
+            ports[port] -= 1
+            budget -= 1
+            self._execute_alu(dyn, cycle, latency)
+
+        for entry in overflow:
+            heapq.heappush(self.ready, entry)
+
+    def _note_branch_gated(self, dyn: DynInst, cycle: int) -> None:
+        if dyn.first_gated_cycle < 0:
+            dyn.first_gated_cycle = cycle
+            self.stats.branches_gated += 1
+            self.policy.stats.branches_gated += 1
+        dyn.gated_cycles += 1
+        self.stats.branch_gate_cycles += 1
+        self.policy.stats.branch_gate_cycles += 1
+
+    def _fu_of(self, opcode: Opcode) -> tuple[str, int]:
+        cfg = self.config
+        if opcode in (Opcode.MUL, Opcode.MULH):
+            return "mul", cfg.mul_latency
+        if opcode in (Opcode.DIV, Opcode.REM):
+            return "div", cfg.div_latency
+        if opcode.is_branch or opcode is Opcode.JALR:
+            return "alu", cfg.branch_latency
+        return "alu", cfg.alu_latency
+
+    def _execute_alu(self, dyn: DynInst, cycle: int, latency: int) -> None:
+        inst = dyn.inst
+        opcode = inst.opcode
+        a = dyn.value_of_src1()
+        b = dyn.value_of_src2()
+        if opcode.is_branch:
+            dyn.actual_taken = semantics.branch_taken(opcode, a, b)
+            dyn.actual_target = (
+                inst.branch_target if dyn.actual_taken else inst.fallthrough
+            )
+            dyn.mispredicted = dyn.actual_taken != dyn.predicted_taken
+        elif opcode is Opcode.JALR:
+            dyn.actual_target = semantics.effective_address(a, inst.imm)
+            dyn.result = inst.pc + INSTRUCTION_BYTES
+            if dyn.predicted_target is not None:
+                dyn.mispredicted = dyn.actual_target != dyn.predicted_target
+        elif opcode is Opcode.JAL:
+            dyn.result = inst.pc + INSTRUCTION_BYTES
+        else:
+            dyn.result = semantics.alu_result(opcode, a, b, inst.imm, inst.pc)
+        self._schedule(dyn, cycle, latency)
+
+    # ------------------------------------------------------------ memory ops
+    def _try_issue_mem(self, dyn: DynInst, cycle: int) -> bool:
+        """Attempt to issue a load/store/cflush; False leaves it pending."""
+        inst = dyn.inst
+        opcode = inst.opcode
+        if dyn.mem_address is None:
+            dyn.mem_address = semantics.effective_address(
+                dyn.value_of_src1(), inst.imm
+            )
+
+        if opcode.is_store:
+            dyn.store_data = dyn.value_of_src2()
+            self._schedule(dyn, cycle, self.config.agu_latency)
+            return True
+
+        # Memory ordering: an older in-flight fence blocks younger memory ops.
+        if self.inflight_fences and min(self.inflight_fences) < dyn.seq:
+            self.stats.memdep_blocked_cycles += 1
+            return False
+
+        # Loads and cflush are transmitters: consult the policy.
+        if not self.policy.checked_may_issue_load(dyn, self):
+            if dyn.first_gated_cycle < 0:
+                dyn.first_gated_cycle = cycle
+                self.stats.loads_gated += 1
+                self.policy.stats.loads_gated += 1
+            dyn.gated_cycles += 1
+            self.stats.load_gate_cycles += 1
+            self.policy.stats.gate_cycles += 1
+            return False
+
+        if opcode is Opcode.CFLUSH:
+            # clflush semantics: the line leaves the hierarchy at execute
+            # (speculative flushes do perturb the caches, as on real parts).
+            self.hierarchy.flush_address(dyn.mem_address)
+            self._schedule(dyn, cycle, self.config.agu_latency + 1)
+            return True
+
+        # Memory disambiguation against older stores (conservative).
+        size = opcode.access_size
+        address = dyn.mem_address
+        forwarding_store: DynInst | None = None
+        for store in reversed(self.store_queue):
+            if store.seq > dyn.seq or store.squashed:
+                continue
+            if store.stage not in (Stage.COMPLETED, Stage.COMMITTED):
+                # Older store address unknown: wait (no memdep speculation).
+                self.stats.memdep_blocked_cycles += 1
+                return False
+            s_addr = store.mem_address
+            s_size = store.opcode.access_size
+            if s_addr + s_size <= address or address + size <= s_addr:
+                continue  # no overlap
+            if s_addr <= address and address + size <= s_addr + s_size:
+                forwarding_store = store
+                break
+            # Partial overlap: wait until the store drains at commit.
+            self.stats.memdep_blocked_cycles += 1
+            return False
+
+        self.stats.loads_issued += 1
+        if self.has_unresolved_ctrl_older_than(dyn.seq):
+            self.stats.loads_speculative_at_issue += 1
+            if dyn.addr_tainted() and self.any_unresolved(dyn.addr_deps()):
+                self.stats.loads_true_dep_at_issue += 1
+        if forwarding_store is not None:
+            self.stats.loads_forwarded += 1
+            dyn.forwarded_from = forwarding_store
+            shift = (dyn.mem_address - forwarding_store.mem_address) * 8
+            raw = (forwarding_store.store_data >> shift) & ((1 << (size * 8)) - 1)
+            dyn.result = self._extend(raw, size, opcode)
+            self._schedule(dyn, cycle, self.config.store_forward_latency)
+            return True
+
+        self._retry_event = True  # a fill may unblock Delay-on-Miss loads
+        ready = self.hierarchy.load(
+            address, cycle + self.config.agu_latency, pc=inst.pc
+        )
+        raw = self.memory.read_int(address, size)
+        dyn.result = self._extend(raw, size, opcode)
+        self._complete_at(dyn, ready)
+        return True
+
+    @staticmethod
+    def _extend(raw: int, size: int, opcode: Opcode) -> int:
+        if semantics.load_is_signed(opcode) and size < 8:
+            sign_bit = 1 << (size * 8 - 1)
+            if raw & sign_bit:
+                raw -= 1 << (size * 8)
+        return to_unsigned(raw)
+
+    # ------------------------------------------------------------ scheduling
+    def _schedule(self, dyn: DynInst, cycle: int, latency: int) -> None:
+        self._complete_at(dyn, cycle + latency)
+
+    def _complete_at(self, dyn: DynInst, when: int) -> None:
+        if dyn.stage is Stage.DISPATCHED:
+            self.iq_count -= 1  # leaves the issue queue
+        dyn.stage = Stage.ISSUED
+        dyn.issue_cycle = self._cycle
+        heapq.heappush(self.completions, (when, dyn.seq, dyn))
+
+    def _process_completions(self, cycle: int) -> None:
+        while self.completions and self.completions[0][0] <= cycle:
+            _, _, dyn = heapq.heappop(self.completions)
+            if dyn.squashed:
+                continue
+            self._retry_event = True
+            dyn.stage = Stage.COMPLETED
+            dyn.complete_cycle = cycle
+            dyn.finalize_lineage(self.unresolved_ctrl, self.inflight_loads)
+            if (
+                dyn.inst.is_load
+                and dyn.opcode is not Opcode.CFLUSH
+                and self.policy.defers_wakeup(dyn, self)
+            ):
+                self.deferred_values.append(dyn)  # NDA: value withheld
+            else:
+                self._propagate(dyn)
+            if dyn.inst.is_branch or dyn.opcode is Opcode.JALR:
+                self._resolve_control(dyn, cycle)
+
+    def _propagate(self, dyn: DynInst) -> None:
+        """Make a completed value visible to dependents (wakeup)."""
+        dyn.propagated = True
+        for consumer in dyn.consumers:
+            if consumer.squashed:
+                continue
+            consumer.waiting_on -= 1
+            if consumer.waiting_on == 0 and consumer.stage is Stage.DISPATCHED:
+                heapq.heappush(self.ready, (consumer.seq, consumer))
+        self._retry_event = True
+
+    # ---------------------------------------------------- control resolution
+    def _resolve_control(self, dyn: DynInst, cycle: int) -> None:
+        self.unresolved_ctrl.discard(dyn.seq)
+        self._unresolved_dirty = True
+        # A resolved branch creates no control dependence: retire its
+        # tracker region so younger fetches stop inheriting it (and the
+        # region list stays bounded by the unresolved window).
+        if self.active_regions:
+            self.active_regions = [
+                r for r in self.active_regions if r[0] != dyn.seq
+            ]
+        inst = dyn.inst
+        if inst.is_branch:
+            self.stats.branch_resolutions += 1
+            self.predictor.update(inst.pc, dyn.actual_taken, dyn.predictor_context)
+            if dyn.mispredicted:
+                self.stats.branch_mispredicts += 1
+                self._squash_after(dyn, cycle)
+            return
+        # JALR
+        self.btb.update(inst.pc, dyn.actual_target)
+        if dyn.predicted_target is None:
+            # Fetch stalled on this jalr; resume at the resolved target.
+            if self.fetch_stalled_on is dyn:
+                self.fetch_stalled_on = None
+                self.fetch_pc = dyn.actual_target
+            return
+        if dyn.mispredicted:
+            self.stats.jalr_mispredicts += 1
+            self._squash_after(dyn, cycle)
+
+    def _squash_after(self, dyn: DynInst, cycle: int) -> None:
+        """Squash everything younger than ``dyn`` and redirect fetch."""
+        boundary = dyn.seq
+        survivors: list[DynInst] = []
+        for entry in self.rob:
+            if entry.seq <= boundary:
+                survivors.append(entry)
+                continue
+            entry.squashed = True
+            entry.stage = Stage.SQUASHED
+            self.stats.squashed_insts += 1
+            self.inflight_loads.pop(entry.seq, None)
+            self.unresolved_ctrl.discard(entry.seq)
+            self.inflight_fences.discard(entry.seq)
+            self._unresolved_dirty = True
+        self.rob = survivors
+
+        # Rebuild occupancy counters from the surviving window.
+        self.iq_count = sum(
+            1
+            for e in self.rob
+            if e.stage is Stage.DISPATCHED and e.opcode is not Opcode.HALT
+        )
+        self.lq_count = sum(1 for e in self.rob if e.opcode.is_load)
+        self.sq_count = sum(1 for e in self.rob if e.opcode.is_store)
+        self.store_queue = [s for s in self.store_queue if s.seq <= boundary]
+        self.pending_loads = [p for p in self.pending_loads if p.seq <= boundary]
+        self.pending_ctrl = [p for p in self.pending_ctrl if p.seq <= boundary]
+        self.deferred_values = [d for d in self.deferred_values if d.seq <= boundary]
+        self.serialize_wait = [s for s in self.serialize_wait if s.seq <= boundary]
+
+        for entry in self.fetch_queue:
+            entry.squashed = True
+            entry.stage = Stage.SQUASHED
+        self.fetch_queue.clear()
+
+        checkpoint = dyn.checkpoint
+        if checkpoint is None:
+            raise SimulationError(
+                f"mispredicted {dyn} carries no checkpoint"
+            )
+        self.rename_map = list(checkpoint.rename_map)
+        # Drop squashed producers that survived in the restored map: a map
+        # snapshot taken at the branch's dispatch can only reference older
+        # instructions, so this is a defensive sweep.
+        for i, producer in enumerate(self.rename_map):
+            if producer is not None and producer.squashed:
+                self.rename_map[i] = None
+        self.ras.restore(checkpoint.ras)
+        self.predictor.history_restore(checkpoint.history)
+        if dyn.inst.is_branch:
+            self.predictor.on_speculative_branch(dyn.pc, bool(dyn.actual_taken))
+        # Restore only regions whose branches are still unresolved: branches
+        # that resolved after the checkpoint was taken were already retired
+        # from the tracker and must not be resurrected.
+        self.active_regions = [
+            list(r) for r in checkpoint.regions if r[0] in self.unresolved_ctrl
+        ]
+
+        self.fetch_pc = dyn.actual_target
+        self.fetch_wild = False
+        self.halt_fetched = False
+        self.fetch_stalled_on = None
+        self._last_fetch_line = None
+        self._retry_event = True
+
+    # ----------------------------------------------------------------- commit
+    def _commit(self, cycle: int) -> None:
+        width = self.config.commit_width
+        while width > 0 and self.rob:
+            dyn = self.rob[0]
+            if dyn.stage is not Stage.COMPLETED:
+                return
+            if not dyn.propagated:
+                # NDA-deferred value reaching the head: it is non-speculative
+                # now, so the policy must agree to release it.
+                if self.policy.may_propagate(dyn, self):
+                    self._propagate(dyn)
+                    self.deferred_values = [
+                        d for d in self.deferred_values if d is not dyn
+                    ]
+                else:
+                    return
+            self.rob.pop(0)
+            width -= 1
+            self._retry_event = True
+            dyn.stage = Stage.COMMITTED
+            dyn.commit_cycle = cycle
+            self._last_commit_cycle = cycle
+            self.stats.committed += 1
+            if self.record_trace:
+                self.committed_pcs.append(dyn.pc)
+            if self.record_pipeline:
+                self.retired.append(dyn)
+
+            opcode = dyn.opcode
+            if opcode is Opcode.HALT:
+                self._done = True
+                return
+
+            if opcode.is_store:
+                size = opcode.access_size
+                self.memory.write_int(dyn.mem_address, dyn.store_data, size)
+                self.hierarchy.store(dyn.mem_address, cycle)
+                self.store_queue.remove(dyn)
+                self.sq_count -= 1
+                self.stats.committed_stores += 1
+            elif opcode.is_load:
+                if opcode is Opcode.CFLUSH:
+                    self.hierarchy.flush_address(dyn.mem_address)
+                else:
+                    self.stats.committed_loads += 1
+                self.inflight_loads.pop(dyn.seq, None)
+                self.lq_count -= 1
+            elif opcode.is_branch:
+                self.stats.committed_branches += 1
+            elif opcode is Opcode.FENCE:
+                self.inflight_fences.discard(dyn.seq)
+
+            dest = dyn.inst.dest_reg()
+            if dest is not None:
+                self.arf[dest] = dyn.result
+                self.arf_taint[dest] = dyn.out_tainted
+                if self.rename_map[dest] is dyn:
+                    self.rename_map[dest] = None

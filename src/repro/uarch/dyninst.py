@@ -1,0 +1,216 @@
+"""Dynamic-instruction records and speculation-lineage tracking.
+
+Each in-flight instruction carries two kinds of security lineage, finalized
+when the instruction *completes* (so consumers — which cannot issue before
+their producers complete — always observe final sets):
+
+* ``out_deps`` — true branch dependencies of the produced value: the
+  instruction's own control dependencies (from the front-end reconvergence
+  tracker) plus the dependencies of every operand producer, plus, for
+  forwarded loads, the forwarding store's data lineage.  This is what the
+  Levioso hardware consults.
+* ``out_roots`` / ``out_tainted`` — taint lineage: ``out_roots`` holds the
+  in-flight load seqs the value descends from (STT's expiring taint);
+  ``out_tainted`` says the value descends from *any* loaded data, a
+  persistent property carried across commit by the core's architectural
+  taint bits (comprehensive policies' structural taint).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa import Instruction, Opcode
+
+EMPTY: frozenset[int] = frozenset()
+
+
+class Stage(enum.Enum):
+    FETCHED = "fetched"
+    DISPATCHED = "dispatched"
+    ISSUED = "issued"
+    COMPLETED = "completed"
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+@dataclass
+class Checkpoint:
+    """Front-end + rename state captured at a speculation source."""
+
+    rename_map: list  # list[DynInst | None] per arch reg
+    ras: tuple[int, ...]
+    history: int
+    regions: list  # list of [branch_seq, reconv_pc, active]
+    fetch_pc_after: int  # where fetch would go if the prediction was wrong
+
+
+@dataclass
+class DynInst:
+    """One in-flight dynamic instruction."""
+
+    seq: int
+    inst: Instruction
+    fetch_cycle: int
+    stage: Stage = Stage.FETCHED
+
+    # Prediction state (control-flow instructions)
+    predicted_taken: bool = False
+    predicted_target: int | None = None
+    predictor_context: object = None
+    checkpoint: Checkpoint | None = None
+    actual_taken: bool | None = None
+    actual_target: int | None = None
+    mispredicted: bool = False
+
+    # Renamed operands: producer DynInsts (None = value from the ARF)
+    src1_producer: Optional["DynInst"] = None
+    src2_producer: Optional["DynInst"] = None
+    src1_value: int = 0          # ARF value captured at rename when no producer
+    src2_value: int = 0
+    src1_arf_tainted: bool = False
+    src2_arf_tainted: bool = False
+
+    # Control lineage assigned by the front-end reconvergence tracker.
+    control_deps: frozenset[int] = EMPTY
+
+    # Finalized output lineage (valid once stage >= COMPLETED).
+    out_deps: frozenset[int] = EMPTY
+    out_roots: frozenset[int] = EMPTY
+    out_tainted: bool = False
+
+    # Execution results
+    result: int = 0
+    mem_address: int | None = None
+    store_data: int = 0
+    forwarded_from: Optional["DynInst"] = None
+
+    # Timing
+    dispatch_cycle: int = -1
+    issue_cycle: int = -1
+    complete_cycle: int = -1
+    commit_cycle: int = -1
+    first_gated_cycle: int = -1
+    gated_cycles: int = 0
+
+    # Scheduler bookkeeping
+    waiting_on: int = 0
+    consumers: list = field(default_factory=list)
+    squashed: bool = False
+    propagated: bool = False  # value visible to dependents (NDA defers this)
+
+    # ------------------------------------------------------------- operands
+    def value_of_src1(self) -> int:
+        if self.src1_producer is not None:
+            return self.src1_producer.result
+        return self.src1_value
+
+    def value_of_src2(self) -> int:
+        if self.src2_producer is not None:
+            return self.src2_producer.result
+        return self.src2_value
+
+    # ----------------------------------------------------- lineage queries
+    def _producer_sets(
+        self, producer: Optional["DynInst"], arf_tainted: bool
+    ) -> tuple[frozenset[int], frozenset[int], bool]:
+        if producer is not None:
+            return producer.out_deps, producer.out_roots, producer.out_tainted
+        return EMPTY, EMPTY, arf_tainted
+
+    def addr_deps(self) -> frozenset[int]:
+        """True branch dependencies of the *address* of this memory op."""
+        deps, _, _ = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        if deps:
+            return self.control_deps | deps
+        return self.control_deps
+
+    def addr_roots(self) -> frozenset[int]:
+        """STT taint roots in the address lineage."""
+        _, roots, _ = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        return roots
+
+    def addr_tainted(self) -> bool:
+        """Is the address derived from any loaded data (structural taint)?"""
+        _, _, tainted = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        return tainted
+
+    def operand_roots(self) -> frozenset[int]:
+        """STT taint roots across both operands (branch-gate query)."""
+        _, r1, _ = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        _, r2, _ = self._producer_sets(self.src2_producer, self.src2_arf_tainted)
+        return r1 | r2
+
+    def operand_tainted(self) -> bool:
+        """Does either operand descend from loaded data?"""
+        _, _, t1 = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        _, _, t2 = self._producer_sets(self.src2_producer, self.src2_arf_tainted)
+        return t1 or t2
+
+    def input_deps(self) -> frozenset[int]:
+        """Control deps + both operands' dependency lineages."""
+        deps = set(self.control_deps)
+        d1, _, _ = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        d2, _, _ = self._producer_sets(self.src2_producer, self.src2_arf_tainted)
+        deps.update(d1)
+        deps.update(d2)
+        return frozenset(deps)
+
+    def finalize_lineage(
+        self,
+        unresolved: "set[int] | frozenset[int] | None" = None,
+        inflight_loads: "dict | None" = None,
+    ) -> None:
+        """Compute the output lineage at completion time.
+
+        Loads produce memory data: structurally tainted, rooted at the load
+        itself, and — when forwarded — additionally carrying the forwarding
+        store's data lineage.
+
+        When the core passes its ``unresolved`` branch set and
+        ``inflight_loads`` map, already-resolved branch seqs and
+        already-visible load roots are pruned: a resolved seq can never
+        become unresolved again (seqs are unique), so pruning cannot change
+        any future gate decision — but it keeps lineage sets bounded by the
+        in-flight window instead of growing along dependence chains.
+        """
+        op = self.inst.opcode
+        deps = self.input_deps()
+        _, r1, t1 = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
+        _, r2, t2 = self._producer_sets(self.src2_producer, self.src2_arf_tainted)
+        roots = r1 | r2
+        tainted = t1 or t2
+
+        if op.is_load and op is not Opcode.CFLUSH:
+            tainted = True
+            roots = roots | frozenset((self.seq,))
+            if self.forwarded_from is not None:
+                store = self.forwarded_from
+                deps = deps | store.out_deps
+                roots = roots | store.out_roots
+        if unresolved is not None:
+            deps = frozenset(deps & unresolved)
+        if inflight_loads is not None:
+            roots = frozenset(r for r in roots if r in inflight_loads)
+        self.out_deps = deps
+        self.out_roots = roots
+        self.out_tainted = tainted
+
+    # ------------------------------------------------------------ shorthand
+    @property
+    def opcode(self) -> Opcode:
+        return self.inst.opcode
+
+    @property
+    def pc(self) -> int:
+        return self.inst.pc
+
+    @property
+    def is_speculation_source(self) -> bool:
+        """Does this instruction open a speculative window when predicted?"""
+        return self.inst.is_branch or self.opcode is Opcode.JALR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynInst(seq={self.seq}, {self.inst.text()}, {self.stage.value})"

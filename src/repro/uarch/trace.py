@@ -1,0 +1,85 @@
+"""Pipeline-timeline rendering (Konata-style, in plain text).
+
+Every :class:`~repro.uarch.dyninst.DynInst` already records its
+fetch/dispatch/issue/complete/commit cycles; with ``record_pipeline=True``
+the core keeps the retired instructions, and this module renders them as a
+per-instruction timeline — the fastest way to *see* where a policy inserts
+its delays:
+
+    seq    pc      instruction          pipeline
+    17  0x1028  ld t5, 0(t4)        ...F....D--------I=C.....R
+                                            ^^^^^^^^ policy gate
+
+Legend: F fetch, D dispatch, ``-`` waiting in the IQ (operands or gate),
+``I`` issue, ``=`` executing, ``C`` complete, ``.`` waiting, ``R`` retire.
+"""
+
+from __future__ import annotations
+
+from .dyninst import DynInst
+
+
+def render_timeline(
+    retired: list[DynInst],
+    start: int = 0,
+    count: int = 32,
+    max_width: int = 96,
+) -> str:
+    """Render ``count`` retired instructions starting at index ``start``."""
+    window = [d for d in retired[start : start + count] if d.commit_cycle >= 0]
+    if not window:
+        return "(no retired instructions in range)"
+    origin = min(d.fetch_cycle for d in window)
+    horizon = max(d.commit_cycle for d in window) + 1
+    span = horizon - origin
+    scale = 1
+    if span > max_width:
+        scale = (span + max_width - 1) // max_width
+
+    lines = [
+        f"cycles {origin}..{horizon - 1}"
+        + (f" (1 char = {scale} cycles)" if scale > 1 else "")
+    ]
+    for dyn in window:
+        cells = [" "] * ((span + scale - 1) // scale)
+
+        def put(cycle: int, char: str) -> None:
+            if cycle < 0:
+                return
+            index = (cycle - origin) // scale
+            if 0 <= index < len(cells):
+                # Later lifecycle markers win within a scaled cell.
+                cells[index] = char
+
+        for c in range(dyn.dispatch_cycle, dyn.issue_cycle):
+            put(c, "-")
+        for c in range(dyn.issue_cycle, dyn.complete_cycle):
+            put(c, "=")
+        for c in range(dyn.complete_cycle, dyn.commit_cycle):
+            put(c, ".")
+        put(dyn.fetch_cycle, "F")
+        put(dyn.dispatch_cycle, "D")
+        put(dyn.issue_cycle, "I")
+        put(dyn.complete_cycle, "C")
+        put(dyn.commit_cycle, "R")
+        text = dyn.inst.text()[:22].ljust(22)
+        gate = f" gated:{dyn.gated_cycles}" if dyn.gated_cycles else ""
+        lines.append(
+            f"{dyn.seq:5d} {dyn.pc:#08x} {text} |{''.join(cells)}|{gate}"
+        )
+    return "\n".join(lines)
+
+
+def gate_summary(retired: list[DynInst], top: int = 10) -> str:
+    """The most-delayed transmitters of a run (policy post-mortem)."""
+    gated = [d for d in retired if d.gated_cycles > 0]
+    gated.sort(key=lambda d: d.gated_cycles, reverse=True)
+    if not gated:
+        return "no instructions were gated"
+    lines = [f"{len(gated)} gated instructions; worst {min(top, len(gated))}:"]
+    for dyn in gated[:top]:
+        lines.append(
+            f"  seq {dyn.seq:6d} {dyn.pc:#08x} {dyn.inst.text():24s} "
+            f"waited {dyn.gated_cycles} cycles"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""SPEClite: the synthetic benchmark suite standing in for SPEC CPU2017."""
+
+from .compute_kernels import cipher_ct, crc_table, list_update, matmul
+from .control_kernels import binary_search, branchy, bubble_pass, sandbox_guard
+from .dependence_kernels import automaton, tree_walk
+from .memory_kernels import gather, histogram, pointer_chase, stream_sum
+from .spec import Workload
+from .suite import SCALES, WORKLOAD_NAMES, build_suite, build_workload
+
+__all__ = [
+    "SCALES",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "automaton",
+    "binary_search",
+    "branchy",
+    "bubble_pass",
+    "build_suite",
+    "build_workload",
+    "cipher_ct",
+    "crc_table",
+    "gather",
+    "histogram",
+    "list_update",
+    "matmul",
+    "pointer_chase",
+    "sandbox_guard",
+    "stream_sum",
+    "tree_walk",
+]

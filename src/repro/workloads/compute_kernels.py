@@ -1,0 +1,281 @@
+"""Compute-centric SPEClite workloads."""
+
+from __future__ import annotations
+
+import random
+
+from .spec import Workload
+from .memory_kernels import _dwords
+
+_MASK64 = (1 << 64) - 1
+
+
+def matmul(dim: int = 14, seed: int = 31) -> Workload:
+    """Dense matrix multiply: ILP-rich, induction-indexed (untainted) loads."""
+    rng = random.Random(seed)
+    a = [[rng.randrange(1 << 10) for _ in range(dim)] for _ in range(dim)]
+    b = [[rng.randrange(1 << 10) for _ in range(dim)] for _ in range(dim)]
+    acc = 0
+    for i in range(dim):
+        for j in range(dim):
+            s = 0
+            for k in range(dim):
+                s = (s + a[i][k] * b[k][j]) & _MASK64
+            acc = (acc + s) & _MASK64
+
+    flat_a = [v for row in a for v in row]
+    flat_b = [v for row in b for v in row]
+    source = f"""
+.data
+mat_a:
+{_dwords(flat_a)}
+mat_b:
+{_dwords(flat_b)}
+globals:
+    .dword mat_a, mat_b
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &mat_a
+    ld s1, 8(gp)        # &mat_b
+    li s4, {dim}
+    li s2, 0            # acc
+    li s3, 0            # i
+i_loop:
+    li s5, 0            # j
+j_loop:
+    li s6, 0            # k
+    li s7, 0            # s
+k_loop:
+    # a[i][k]
+    mul t0, s3, s4
+    add t0, t0, s6
+    slli t0, t0, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    # b[k][j]
+    mul t2, s6, s4
+    add t2, t2, s5
+    slli t2, t2, 3
+    add t2, s1, t2
+    ld t3, 0(t2)
+    mul t4, t1, t3
+    add s7, s7, t4
+    addi s6, s6, 1
+    bne s6, s4, k_loop
+    add s2, s2, s7
+    addi s5, s5, 1
+    bne s5, s4, j_loop
+    addi s3, s3, 1
+    bne s3, s4, i_loop
+    mv a0, s2
+    halt
+"""
+    return Workload(
+        name="matmul",
+        source=source,
+        description="dense matrix multiply (ILP-rich compute)",
+        category="compute",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def crc_table(n: int = 1600, seed: int = 32) -> Workload:
+    """CRC-style table-driven checksum: a serial chain of tainted lookups.
+
+    Each table index derives from the previous lookup's result, so the taint
+    chain never breaks — a stress test for taint-based policies.
+    """
+    rng = random.Random(seed)
+    data = [rng.randrange(256) for _ in range(n)]
+    table = [rng.randrange(1 << 32) for _ in range(256)]
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (table[(crc ^ byte) & 0xFF] ^ (crc >> 8)) & _MASK64
+
+    source = f"""
+.data
+bytes_in:
+{_dwords(data)}
+crc_lut:
+{_dwords(table)}
+globals:
+    .dword bytes_in, crc_lut
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &bytes_in
+    ld s1, 8(gp)        # &crc_lut
+    li s4, {n}
+    li s2, 0xFFFFFFFF   # crc
+    li s3, 0            # i
+loop:
+    slli t0, s3, 3
+    add t0, s0, t0
+    ld t1, 0(t0)        # data byte (untainted address)
+    xor t2, s2, t1
+    andi t2, t2, 0xFF
+    slli t2, t2, 3
+    add t2, s1, t2
+    ld t3, 0(t2)        # table lookup: tainted address (crc is loaded data)
+    srli t4, s2, 8
+    xor s2, t3, t4
+    addi s3, s3, 1
+    bne s3, s4, loop
+    mv a0, s2
+    halt
+"""
+    return Workload(
+        name="crc",
+        source=source,
+        description="table-driven CRC with a serial tainted-lookup chain",
+        category="compute",
+        check_reg=10,
+        check_value=crc,
+    )
+
+
+def cipher_ct(blocks: int = 300, rounds: int = 8, seed: int = 33) -> Workload:
+    """Constant-time ARX cipher kernel over a secret key.
+
+    The key lives in a ``.secret`` region (the non-speculative-secret threat
+    model): the kernel itself is register-only ARX, so a correct comprehensive
+    defense should cost little here — and STT must not be credited for
+    protecting it (it does not).
+    """
+    rng = random.Random(seed)
+    key = [rng.randrange(1 << 64) for _ in range(4)]
+    msgs = [rng.randrange(1 << 64) for _ in range(blocks)]
+
+    def rotl(x: int, r: int) -> int:
+        return ((x << r) | (x >> (64 - r))) & _MASK64
+
+    acc = 0
+    for m in msgs:
+        v = m
+        for r in range(rounds):
+            v = (v + key[r % 4]) & _MASK64
+            v = rotl(v, 13)
+            v ^= key[(r + 1) % 4]
+        acc = (acc + v) & _MASK64
+
+    round_body = []
+    for r in range(rounds):
+        k_add = 20 + (r % 4)        # s4..s7 hold the key words
+        k_xor = 20 + ((r + 1) % 4)
+        round_body.append(
+            f"""    add t1, t1, x{k_add}
+    slli t2, t1, 13
+    srli t3, t1, 51
+    or t1, t2, t3
+    xor t1, t1, x{k_xor}"""
+        )
+    rounds_text = "\n".join(round_body)
+
+    source = f"""
+.data
+.secret cipher_key
+key:
+{_dwords(key)}
+.public
+messages:
+{_dwords(msgs)}
+globals:
+    .dword key, messages
+.text
+    la gp, globals
+    ld t0, 0(gp)        # &key
+    ld s4, 0(t0)        # non-speculative secret loads
+    ld s5, 8(t0)
+    ld s6, 16(t0)
+    ld s7, 24(t0)
+    ld s0, 8(gp)        # &messages
+    li s3, {blocks}
+    li s1, 0            # acc
+    li s2, 0            # i
+loop:
+    slli t0, s2, 3
+    add t0, s0, t0
+    ld t1, 0(t0)        # message block
+{rounds_text}
+    add s1, s1, t1
+    addi s2, s2, 1
+    bne s2, s3, loop
+    mv a0, s1
+    halt
+"""
+    return Workload(
+        name="cipher",
+        source=source,
+        description="constant-time ARX cipher over a .secret key",
+        category="compute",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def list_update(nodes: int = 384, iters: int = 1100, seed: int = 34) -> Workload:
+    """Linked-structure update: pointer chase + read-modify-write per node."""
+    rng = random.Random(seed)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    nxt = [0] * nodes
+    for i in range(nodes):
+        nxt[order[i]] = order[(i + 1) % nodes]
+    values = [rng.randrange(1 << 16) for _ in range(nodes)]
+
+    mirror = list(values)
+    cur = 0
+    acc = 0
+    odd = 0
+    for _ in range(iters):
+        cur = nxt[cur]
+        mirror[cur] = (mirror[cur] + 1) & _MASK64
+        acc = (acc + mirror[cur]) & _MASK64
+        if mirror[cur] & 1:  # data-dependent bookkeeping branch
+            odd += 1
+    acc = (acc + odd) & _MASK64
+
+    source = f"""
+.data
+next_table:
+{_dwords(nxt)}
+val_table:
+{_dwords(values)}
+globals:
+    .dword next_table, val_table
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &next_table
+    ld s1, 8(gp)        # &val_table
+    li s5, {iters}
+    li s2, 0            # cur
+    li s3, 0            # acc
+    li s4, 0            # i
+    li s7, 0            # odd counter
+loop:
+    slli t0, s2, 3
+    add t0, s0, t0
+    ld s2, 0(t0)        # chase
+    slli t1, s2, 3
+    add t1, s1, t1
+    ld t2, 0(t1)        # node value: tainted address
+    addi t2, t2, 1
+    sd t2, 0(t1)        # update
+    add s3, s3, t2
+    andi t5, t2, 1
+    beqz t5, lskip      # data-dependent test on the updated value
+    addi s7, s7, 1
+lskip:
+    addi s4, s4, 1
+    bne s4, s5, loop
+    add a0, s3, s7
+    halt
+"""
+    return Workload(
+        name="listupd",
+        source=source,
+        description="linked-structure chase with per-node read-modify-write",
+        category="compute",
+        check_reg=10,
+        check_value=acc,
+    )

@@ -1,0 +1,274 @@
+"""Control-flow-heavy SPEClite workloads."""
+
+from __future__ import annotations
+
+import random
+
+from .spec import Workload
+from .memory_kernels import _dwords
+
+_MASK64 = (1 << 64) - 1
+
+
+def branchy(n: int = 2500, seed: int = 21) -> Workload:
+    """gcc/sjeng-like: dense data-dependent branching over cached data."""
+    rng = random.Random(seed)
+    data = [rng.randrange(1 << 16) for _ in range(n)]
+    acc = 0
+    even = 0
+    for v in data:
+        if v & 1:
+            acc = (acc + v) & _MASK64
+        else:
+            acc = (acc ^ v) & _MASK64
+            even += 1
+        if v & 4:
+            acc = (acc + 3) & _MASK64
+
+    source = f"""
+.data
+data_array:
+{_dwords(data)}
+globals:
+    .dword data_array
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &data_array
+    li s3, {n}
+    li s1, 0            # acc
+    li s2, 0            # i
+    li s5, 0            # even counter
+loop:
+    slli t0, s2, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    andi t2, t1, 1
+    beqz t2, even_case
+    add s1, s1, t1
+    j after
+even_case:
+    xor s1, s1, t1
+    addi s5, s5, 1
+after:
+    andi t3, t1, 4
+    beqz t3, no_bonus
+    addi s1, s1, 3
+no_bonus:
+    addi s2, s2, 1
+    bne s2, s3, loop
+    mv a0, s1
+    halt
+"""
+    return Workload(
+        name="branchy",
+        source=source,
+        description="dense unpredictable data-dependent branches",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def binary_search(n: int = 1024, queries: int = 220, seed: int = 22) -> Workload:
+    """Binary search: loads feed branches feed loads (deep dependence).
+
+    Every probe load is both control- and data-dependent on the previous
+    compare, so Levioso and the conservative baselines behave similarly —
+    an honest "no-win" point in the evaluation space.
+    """
+    rng = random.Random(seed)
+    array = sorted(rng.sample(range(1 << 20), n))
+    qs = [rng.choice(array) if rng.random() < 0.7 else rng.randrange(1 << 20)
+          for _ in range(queries)]
+
+    def search(target: int) -> int:
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if array[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    acc = 0
+    for q in qs:
+        acc = (acc + search(q)) & _MASK64
+
+    source = f"""
+.data
+sorted_array:
+{_dwords(array)}
+query_array:
+{_dwords(qs)}
+globals:
+    .dword sorted_array, query_array
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &sorted_array
+    ld s1, 8(gp)        # &query_array
+    li s4, {queries}
+    li s9, {n}
+    li s2, 0            # acc
+    li s3, 0            # q index
+next_query:
+    slli t0, s3, 3
+    add t0, s1, t0
+    ld s5, 0(t0)        # target
+    li s6, 0            # lo
+    mv s7, s9           # hi = n
+bs_loop:
+    bgeu s6, s7, bs_done
+    add t1, s6, s7
+    srli t1, t1, 1      # mid
+    slli t2, t1, 3
+    add t2, s0, t2
+    ld t3, 0(t2)        # array[mid]
+    bltu t3, s5, go_right
+    mv s7, t1           # hi = mid
+    j bs_loop
+go_right:
+    addi s6, t1, 1      # lo = mid + 1
+    j bs_loop
+bs_done:
+    add s2, s2, s6
+    addi s3, s3, 1
+    bne s3, s4, next_query
+    mv a0, s2
+    halt
+"""
+    return Workload(
+        name="bsearch",
+        source=source,
+        description="binary search with load->branch->load dependences",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def bubble_pass(n: int = 96, passes: int = 14, seed: int = 23) -> Workload:
+    """Bubble-sort passes: unpredictable compare-swap branches + stores."""
+    rng = random.Random(seed)
+    array = [rng.randrange(1 << 16) for _ in range(n)]
+    mirror = list(array)
+    swaps = 0
+    for _ in range(passes):
+        for i in range(n - 1):
+            if mirror[i] > mirror[i + 1]:
+                mirror[i], mirror[i + 1] = mirror[i + 1], mirror[i]
+                swaps += 1
+    acc = 0
+    for i, v in enumerate(mirror):
+        acc = (acc + v * (i + 1)) & _MASK64
+
+    source = f"""
+.data
+array:
+{_dwords(array)}
+globals:
+    .dword array
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &array
+    li s2, {passes}
+    li s10, {n - 1}
+    li s1, 0            # pass
+pass_loop:
+    li s3, 0            # i
+    mv s4, s10
+inner:
+    slli t0, s3, 3
+    add t0, s0, t0
+    ld t1, 0(t0)        # a[i]
+    ld t2, 8(t0)        # a[i+1]
+    bgeu t2, t1, no_swap
+    sd t2, 0(t0)
+    sd t1, 8(t0)
+no_swap:
+    addi s3, s3, 1
+    bne s3, s4, inner
+    addi s1, s1, 1
+    bne s1, s2, pass_loop
+    # weighted checksum
+    li s3, 0
+    li s5, 0
+    li s4, {n}
+chk:
+    slli t0, s3, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    addi t2, s3, 1
+    mul t3, t1, t2
+    add s5, s5, t3
+    addi s3, s3, 1
+    bne s3, s4, chk
+    mv a0, s5
+    halt
+"""
+    return Workload(
+        name="sort",
+        source=source,
+        description="bubble-sort passes with unpredictable compare-swap",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def sandbox_guard(n: int = 1400, bound: int = 256, seed: int = 24) -> Workload:
+    """Bounds-checked array access, the sandbox idiom Spectre v1 abuses.
+
+    Every payload load is control-dependent on its own bounds check, so all
+    comprehensive policies must gate it while the check is unresolved.
+    """
+    rng = random.Random(seed)
+    arr = [rng.randrange(1 << 12) for _ in range(bound)]
+    idxs = [rng.randrange(bound + 40) for _ in range(n)]  # some out of range
+    acc = 0
+    skipped = 0
+    for i in idxs:
+        if i < bound:
+            acc = (acc + arr[i]) & _MASK64
+        else:
+            skipped += 1
+
+    source = f"""
+.data
+arr:
+{_dwords(arr)}
+idx_array:
+{_dwords(idxs)}
+globals:
+    .dword arr, idx_array
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &arr
+    ld s1, 8(gp)        # &idx_array
+    li s4, {n}
+    li s5, {bound}
+    li s2, 0            # acc
+    li s3, 0            # i
+loop:
+    slli t0, s3, 3
+    add t0, s1, t0
+    ld t1, 0(t0)        # index (attacker-controlled in the threat model)
+    bgeu t1, s5, skip   # bounds check
+    slli t2, t1, 3
+    add t2, s0, t2
+    ld t3, 0(t2)        # guarded access
+    add s2, s2, t3
+skip:
+    addi s3, s3, 1
+    bne s3, s4, loop
+    mv a0, s2
+    halt
+"""
+    return Workload(
+        name="sandbox",
+        source=source,
+        description="bounds-checked accesses (Spectre-v1 victim idiom)",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )

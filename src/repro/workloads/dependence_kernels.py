@@ -1,0 +1,192 @@
+"""Dependence-heavy SPEClite workloads.
+
+These two kernels are the suite's "no-free-lunch" points: their transmitters
+*truly* depend on unresolved branches (descent decisions, state updates), so
+even Levioso must pay — they anchor the residual overhead the paper reports
+(Levioso's 23% is not zero precisely because real code contains these
+shapes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .memory_kernels import _dwords
+from .spec import Workload
+
+_MASK64 = (1 << 64) - 1
+
+
+def tree_walk(nodes: int = 255, queries: int = 200, seed: int = 41) -> Workload:
+    """Binary-search-tree descent: every probe is control- and data-dependent
+    on the previous comparison, through pointers (tainted addresses)."""
+    rng = random.Random(seed)
+    keys_pool = rng.sample(range(1, 1 << 20), nodes)
+
+    # Node 0 is the null sentinel; nodes are numbered in insertion order.
+    key = [0]
+    left = [0]
+    right = [0]
+
+    def insert(value: int) -> None:
+        key.append(value)
+        left.append(0)
+        right.append(0)
+        me = len(key) - 1
+        if me == 1:
+            return
+        node = 1
+        while True:
+            if value < key[node]:
+                if left[node] == 0:
+                    left[node] = me
+                    return
+                node = left[node]
+            else:
+                if right[node] == 0:
+                    right[node] = me
+                    return
+                node = right[node]
+
+    for value in keys_pool:
+        insert(value)
+
+    qs = [
+        rng.choice(keys_pool) if rng.random() < 0.6 else rng.randrange(1 << 20)
+        for _ in range(queries)
+    ]
+
+    def descend(target: int) -> int:
+        node = 1
+        last_key = 0
+        while node != 0:
+            last_key = key[node]
+            node = left[node] if target < last_key else right[node]
+        return last_key
+
+    acc = 0
+    for q in qs:
+        acc = (acc + descend(q)) & _MASK64
+
+    source = f"""
+.data
+key_arr:
+{_dwords(key)}
+left_arr:
+{_dwords(left)}
+right_arr:
+{_dwords(right)}
+query_arr:
+{_dwords(qs)}
+globals:
+    .dword key_arr, left_arr, right_arr, query_arr
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &key
+    ld s1, 8(gp)        # &left
+    ld s2, 16(gp)       # &right
+    ld s3, 24(gp)       # &queries
+    li s4, {queries}
+    li s5, 0            # q index
+    li s6, 0            # acc
+next_query:
+    slli t0, s5, 3
+    add t0, s3, t0
+    ld s7, 0(t0)        # target
+    li s8, 1            # node = root
+    li s9, 0            # last key seen
+descend:
+    beqz s8, done_query
+    slli t1, s8, 3
+    add t2, s0, t1
+    ld s9, 0(t2)        # key[node]: tainted address, branch-dependent
+    bltu s7, s9, go_left
+    add t3, s2, t1
+    ld s8, 0(t3)        # node = right[node]
+    j descend
+go_left:
+    add t4, s1, t1
+    ld s8, 0(t4)        # node = left[node]
+    j descend
+done_query:
+    add s6, s6, s9
+    addi s5, s5, 1
+    bne s5, s4, next_query
+    mv a0, s6
+    halt
+"""
+    return Workload(
+        name="treewalk",
+        source=source,
+        description="BST descent: probes truly depend on prior comparisons",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )
+
+
+def automaton(
+    n: int = 1500, states: int = 16, classes: int = 4, seed: int = 42
+) -> Workload:
+    """DFA over a byte stream: the next-state load is data-dependent on the
+    current state and an acceptance branch tests every state — a serial,
+    fully-dependent taint chain (xalancbmk/perl-style dispatch)."""
+    rng = random.Random(seed)
+    data = [rng.randrange(256) for _ in range(n)]
+    trans = [rng.randrange(states) for _ in range(states * classes)]
+
+    state = 0
+    accepts = 0
+    acc = 0
+    for byte in data:
+        state = trans[state * classes + (byte % classes)]
+        if state & 1:
+            accepts += 1
+        acc = (acc + state) & _MASK64
+    acc = (acc + accepts) & _MASK64
+
+    source = f"""
+.data
+input_bytes:
+{_dwords(data)}
+trans_table:
+{_dwords(trans)}
+globals:
+    .dword input_bytes, trans_table
+.text
+    la gp, globals
+    ld s0, 0(gp)        # &input
+    ld s1, 8(gp)        # &trans
+    li s4, {n}
+    li s2, 0            # state
+    li s3, 0            # i
+    li s5, 0            # acc
+    li s6, 0            # accept counter
+loop:
+    slli t0, s3, 3
+    add t0, s0, t0
+    ld t1, 0(t0)        # input byte (untainted address)
+    andi t2, t1, {classes - 1}
+    slli t3, s2, {classes.bit_length() - 1}
+    add t3, t3, t2
+    slli t3, t3, 3
+    add t3, s1, t3
+    ld s2, 0(t3)        # next state: tainted, serial chain
+    andi t4, s2, 1
+    beqz t4, not_accepting
+    addi s6, s6, 1
+not_accepting:
+    add s5, s5, s2
+    addi s3, s3, 1
+    bne s3, s4, loop
+    add a0, s5, s6
+    halt
+"""
+    return Workload(
+        name="automaton",
+        source=source,
+        description="DFA dispatch: serial state chain with acceptance branch",
+        category="control",
+        check_reg=10,
+        check_value=acc,
+    )

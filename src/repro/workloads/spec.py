@@ -1,0 +1,33 @@
+"""Workload specification record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm import assemble
+from ..asm.program import Program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One SPEClite workload: named assembly source + expectations.
+
+    ``check_reg``/``check_value`` define a self-check: after execution the
+    given architectural register must hold the given value, so every harness
+    run re-validates correctness for free.
+    """
+
+    name: str
+    source: str
+    description: str
+    category: str  # memory / control / compute
+    check_reg: int | None = None
+    check_value: int | None = None
+
+    def assemble(self) -> Program:
+        return assemble(self.source, name=self.name)
+
+    def validate(self, regs: tuple[int, ...]) -> bool:
+        if self.check_reg is None:
+            return True
+        return regs[self.check_reg] == self.check_value

@@ -1,0 +1,83 @@
+"""The SPEClite suite: 14 workloads standing in for SPEC CPU2017.
+
+Why these fourteen (DESIGN.md, substitutions): secure-speculation overhead is
+driven by (branch density) x (branch resolution latency) x (transmitter
+density) x (dependence structure between them).  The suite spans that space:
+
+====== ========== ==========================================================
+name   category   stress axis
+====== ========== ==========================================================
+pchase  memory    serial tainted chases, fast-resolving branches
+stream  memory    untainted streaming (defenses should be ~free)
+gather  memory    slow branch + control-independent tainted gather (Levioso's
+                  best case)
+histo.  memory    loaded-data-indexed read-modify-write
+branchy control   dense unpredictable branches, cached data
+bsearch control   load->branch->load chains (no-win case, honest baseline)
+sort    control   compare-swap branches + dependent stores
+sandbox control   bounds-checked loads (Spectre-v1 victim shape)
+matmul  compute   ILP-rich, induction addressing
+crc     compute   serial tainted-lookup chain
+cipher  compute   constant-time kernel over .secret key
+listupd compute   chase + RMW mix
+treew.  control   BST descent - transmitters truly branch-dependent
+autom.  control   DFA dispatch - serial fully-dependent taint chain
+====== ========== ==========================================================
+
+Two scales are provided: ``test`` (seconds per run, used by pytest) and
+``ref`` (the benchmark-harness default).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .compute_kernels import cipher_ct, crc_table, list_update, matmul
+from .control_kernels import binary_search, branchy, bubble_pass, sandbox_guard
+from .dependence_kernels import automaton, tree_walk
+from .memory_kernels import gather, histogram, pointer_chase, stream_sum
+from .spec import Workload
+
+# name -> (builder, test-scale kwargs, ref-scale kwargs)
+# Ref-scale footprints are sized against the reduced cache hierarchy
+# (16 KiB L1D / 128 KiB L2): the main arrays of the memory-bound kernels
+# overflow the L1 and several overflow the L2, so branch conditions that
+# depend on loaded data resolve at realistic latencies.
+_REGISTRY: dict[str, tuple[Callable[..., Workload], dict, dict]] = {
+    "pchase": (pointer_chase, {"nodes": 256, "iters": 400}, {"nodes": 2048, "iters": 1800}),
+    "stream": (stream_sum, {"n": 600}, {"n": 4096}),
+    "gather": (gather, {"n": 350}, {"n": 1200}),
+    "histogram": (histogram, {"n": 400}, {"n": 3000, "buckets": 256}),
+    "branchy": (branchy, {"n": 700}, {"n": 3000}),
+    "bsearch": (binary_search, {"queries": 70}, {"n": 2048, "queries": 250}),
+    "sort": (bubble_pass, {"n": 48, "passes": 8}, {"n": 128, "passes": 12}),
+    "sandbox": (sandbox_guard, {"n": 400}, {"n": 1600}),
+    "matmul": (matmul, {"dim": 9}, {"dim": 16}),
+    "crc": (crc_table, {"n": 450}, {"n": 1800}),
+    "cipher": (cipher_ct, {"blocks": 90}, {"blocks": 320}),
+    "listupd": (list_update, {"nodes": 192, "iters": 300}, {"nodes": 1024, "iters": 1400}),
+    "treewalk": (tree_walk, {"nodes": 127, "queries": 60}, {"nodes": 511, "queries": 220}),
+    "automaton": (automaton, {"n": 450}, {"n": 1700}),
+}
+
+WORKLOAD_NAMES = tuple(_REGISTRY)
+
+SCALES = ("test", "ref")
+
+
+def build_workload(name: str, scale: str = "ref", **overrides) -> Workload:
+    """Build one workload by name at the given scale."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; know {sorted(_REGISTRY)}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; know {SCALES}")
+    builder, test_kwargs, ref_kwargs = _REGISTRY[name]
+    kwargs = dict(test_kwargs if scale == "test" else ref_kwargs)
+    kwargs.update(overrides)
+    return builder(**kwargs)
+
+
+def build_suite(scale: str = "ref", names: tuple[str, ...] | None = None) -> list[Workload]:
+    """Build the whole suite (or a named subset) at one scale."""
+    selected = names or WORKLOAD_NAMES
+    return [build_workload(name, scale) for name in selected]

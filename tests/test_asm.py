@@ -1,0 +1,180 @@
+"""Assembler: directives, pseudo-ops, errors, disassembler round trip."""
+
+import pytest
+
+from repro.asm import Assembler, assemble, disassemble
+from repro.errors import AssemblerError
+from repro.functional import run_program
+from repro.isa import Opcode
+
+
+# ----------------------------------------------------------------- sections
+def test_data_directives_layout():
+    program = assemble("""
+    .data
+    a: .byte 1, 2
+    b: .half 3
+    c: .align 3
+    d: .dword 0x1122334455667788
+    e: .word -1
+    """)
+    base = program.data_base
+    assert program.address_of("a") == base
+    assert program.address_of("b") == base + 2
+    assert program.address_of("d") == base + 8  # aligned to 8
+    assert program.data[0:2] == b"\x01\x02"
+    assert program.data[8:16] == bytes.fromhex("8877665544332211")
+
+
+def test_ascii_and_zero():
+    program = assemble("""
+    .data
+    s: .asciiz "hi\\n"
+    z: .zero 4
+    """)
+    assert program.data[:4] == b"hi\n\x00"
+    assert program.address_of("z") == program.data_base + 4
+
+
+def test_equ_constants():
+    program = assemble("""
+    .equ SIZE, 8
+    .equ DOUBLE, SIZE + SIZE
+    .text
+        li a0, DOUBLE
+        halt
+    """)
+    result = run_program(program)
+    assert result.state.read_reg(10) == 16
+
+
+def test_entry_directive():
+    program = assemble("""
+    .entry start
+    .text
+    pad:
+        nop
+    start:
+        li a0, 9
+        halt
+    """)
+    assert program.entry == program.address_of("start")
+    assert run_program(program).state.read_reg(10) == 9
+
+
+def test_secret_ranges_named():
+    program = assemble("""
+    .data
+    pub: .dword 1
+    .secret keys
+    k1: .dword 2
+    k2: .dword 3
+    .public
+    pub2: .dword 4
+    """)
+    assert len(program.secret_ranges) == 1
+    srange = program.secret_ranges[0]
+    assert srange.name == "keys"
+    assert program.is_secret_address(program.address_of("k1"))
+    assert program.is_secret_address(program.address_of("k2") + 7)
+    assert not program.is_secret_address(program.address_of("pub"))
+    assert not program.is_secret_address(program.address_of("pub2"))
+
+
+# ----------------------------------------------------------------- pseudo-ops
+@pytest.mark.parametrize(
+    "line,expected_op",
+    [
+        ("mv a0, a1", Opcode.ADDI),
+        ("not a0, a1", Opcode.XORI),
+        ("neg a0, a1", Opcode.SUB),
+        ("beqz a0, target", Opcode.BEQ),
+        ("bgtz a0, target", Opcode.BLT),
+        ("ble a0, a1, target", Opcode.BGE),
+        ("j target", Opcode.JAL),
+        ("call target", Opcode.JAL),
+        ("ret", Opcode.JALR),
+        ("jr a0", Opcode.JALR),
+    ],
+)
+def test_pseudo_expansion(line, expected_op):
+    program = assemble(f"""
+    .text
+    target:
+        {line}
+        halt
+    """)
+    assert program.instructions[0].opcode is expected_op
+
+
+def test_pseudo_semantics():
+    program = assemble("""
+    .text
+        li a1, 7
+        mv a0, a1
+        not a2, a1
+        neg a3, a1
+        halt
+    """)
+    state = run_program(program).state
+    assert state.read_reg(10) == 7
+    assert state.read_reg(12) == (~7) & ((1 << 64) - 1)
+    assert state.read_reg(13) == (-7) & ((1 << 64) - 1)
+
+
+# -------------------------------------------------------------------- errors
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        (".text\n  bogus a0, a1", "unknown mnemonic"),
+        (".text\n  add a0, a1", "expects 3 operand"),
+        (".text\n  ld a0, label", "offset(base)"),
+        (".data\n  .word 1\n.text\n  halt\n.data\nx:\n.text\n  j undefined_label", "undefined symbol"),
+        (".text\nl:\nl:\n  halt", "duplicate symbol"),
+        (".text\n  .word 5", "outside .data"),
+        (".data\n  addi a0, a0, 1", "instruction outside .text"),
+        (".text\n  li a0, 1 2", "expected comma"),
+        (".data\n  .byte 300", "does not fit"),
+        (".text\n  addi a0, a0, $", "unexpected character"),
+    ],
+)
+def test_assembler_errors(source, fragment):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(".text\n  nop\n  bogus\n")
+    assert "line 3" in str(excinfo.value)
+
+
+# --------------------------------------------------------------- disassembly
+def test_disassemble_reassembles_equivalently():
+    source = """
+    .text
+        li a0, 0
+        li a1, 5
+    loop:
+        addi a0, a0, 3
+        bne a0, a1, skip
+        addi a0, a0, 100
+    skip:
+        blt a0, a1, loop
+        halt
+    """
+    program = assemble(source)
+    round_tripped = assemble(disassemble(program))
+    first = run_program(program)
+    second = run_program(round_tripped)
+    assert first.regs == second.regs
+    assert len(program) == len(round_tripped)
+
+
+def test_custom_bases():
+    asm = Assembler(text_base=0x4000, data_base=0x200000)
+    program = asm.assemble(".data\nv: .dword 1\n.text\n  halt\n")
+    assert program.text_base == 0x4000
+    assert program.address_of("v") == 0x200000
+    assert program.inst_at(0x4000).opcode is Opcode.HALT

@@ -1,0 +1,81 @@
+"""Property-based round-trip tests for the ISA encoding and assembler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.functional import run_program
+from repro.isa import Instruction, Opcode, OperandFormat
+from repro.isa.encoding import decode, encode
+
+reg = st.integers(min_value=0, max_value=31)
+imm64 = st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1)
+small_imm = st.integers(min_value=-2048, max_value=2047)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    opcode = draw(st.sampled_from(list(Opcode)))
+    rd = draw(reg) if opcode.writes_rd else 0
+    rs1 = draw(reg) if opcode.reads_rs1 else 0
+    rs2 = draw(reg) if opcode.reads_rs2 else 0
+    if opcode.fmt in (OperandFormat.B, OperandFormat.J):
+        imm = draw(st.integers(min_value=0, max_value=1 << 20)) * 4 + 0x1000
+    elif opcode is Opcode.LI:
+        imm = draw(imm64)
+    else:
+        imm = draw(small_imm)
+    return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+@settings(max_examples=300, deadline=None)
+@given(inst=instructions())
+def test_encode_decode_identity(inst):
+    decoded = decode(encode(inst))
+    assert decoded.opcode is inst.opcode
+    assert decoded.rd == inst.rd
+    assert decoded.rs1 == inst.rs1
+    assert decoded.rs2 == inst.rs2
+    assert decoded.imm == inst.imm
+
+
+@st.composite
+def straightline_sources(draw) -> str:
+    """Small straight-line programs over a scratch buffer."""
+    lines = [".data", "buf: .zero 64", ".text", "    la s0, buf"]
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "sub", "xor", "and", "or", "mul"]),
+                st.sampled_from(["t0", "t1", "t2", "a0", "a1"]),
+                st.sampled_from(["t0", "t1", "t2", "a0", "a1"]),
+                st.sampled_from(["t0", "t1", "t2", "a0", "a1"]),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    seeds = draw(st.lists(small_imm, min_size=2, max_size=4))
+    for i, seed in enumerate(seeds):
+        lines.append(f"    li {['t0','t1','t2','a0','a1'][i % 5]}, {seed}")
+    for op, rd, rs1, rs2 in ops:
+        lines.append(f"    {op} {rd}, {rs1}, {rs2}")
+    offset = draw(st.integers(min_value=0, max_value=7)) * 8
+    lines.append(f"    sd a0, {offset}(s0)")
+    lines.append(f"    ld a1, {offset}(s0)")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=straightline_sources())
+def test_disassemble_reassemble_preserves_semantics(source):
+    program = assemble(source)
+    round_tripped = assemble(disassemble(program))
+    assert run_program(program).regs == run_program(round_tripped).regs
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=straightline_sources())
+def test_functional_determinism(source):
+    program = assemble(source)
+    assert run_program(program).regs == run_program(program).regs

@@ -1,0 +1,33 @@
+"""Covert-channel receiver unit tests."""
+
+from repro.attacks import PROBE_STRIDE, ChannelReading, read_probe_array
+from repro.attacks.gadgets import spectre_v1
+from repro.mem import MemoryHierarchy
+
+
+def test_reading_recovers_single_hot_slot():
+    reading = ChannelReading(hot_slots=[0, 0x42])
+    assert reading.recovered_value == 0x42
+    assert reading.leaked
+
+
+def test_reading_rejects_ambiguity():
+    assert ChannelReading(hot_slots=[0x11, 0x22]).recovered_value is None
+    assert ChannelReading(hot_slots=[]).recovered_value is None
+    assert ChannelReading(hot_slots=[0]).recovered_value is None  # training noise
+
+
+def test_read_probe_array_sees_planted_line():
+    program = spectre_v1(0x3C)
+    hierarchy = MemoryHierarchy()
+    probe = program.address_of("probe")
+    hierarchy.warm_line(probe + 0x3C * PROBE_STRIDE)
+    reading = read_probe_array(hierarchy, program)
+    assert reading.recovered_value == 0x3C
+
+
+def test_read_probe_array_empty_cache():
+    program = spectre_v1(0x3C)
+    hierarchy = MemoryHierarchy()
+    reading = read_probe_array(hierarchy, program)
+    assert not reading.leaked

@@ -1,0 +1,158 @@
+"""CFG construction, dominators, post-dominators, loops."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cfg import (
+    EXIT_BLOCK,
+    DominatorInfo,
+    PostDominatorInfo,
+    build_all_cfgs,
+    build_function_cfg,
+    find_function_entries,
+    find_natural_loops,
+    loop_depth_of_blocks,
+)
+
+DIAMOND = """
+.text
+    li a0, 1
+    beq a0, zero, else_side
+    addi a1, zero, 10
+    j join
+else_side:
+    addi a1, zero, 20
+join:
+    addi a2, a1, 1
+    halt
+"""
+
+
+@pytest.fixture
+def diamond_cfg():
+    program = assemble(DIAMOND)
+    return program, build_function_cfg(program, program.entry)
+
+
+def test_diamond_block_structure(diamond_cfg):
+    _, cfg = diamond_cfg
+    # entry(li,beq) / then(addi,j) / else(addi) / join(addi,halt)
+    assert cfg.num_blocks == 4
+    entry = cfg.block_at(cfg.entry_pc)
+    assert len(entry.successors) == 2
+
+
+def test_diamond_postdominator_is_join(diamond_cfg):
+    program, cfg = diamond_cfg
+    pdom = PostDominatorInfo(cfg)
+    branch_block = cfg.block_at(program.text_base + 4)
+    join_bid = cfg.block_of_pc[program.address_of("join")]
+    assert pdom.immediate_postdominator(branch_block.bid) == join_bid
+
+
+def test_diamond_dominators(diamond_cfg):
+    program, cfg = diamond_cfg
+    dom = DominatorInfo(cfg)
+    entry_bid = cfg.block_of_pc[cfg.entry_pc]
+    join_bid = cfg.block_of_pc[program.address_of("join")]
+    assert dom.dominates(entry_bid, join_bid)
+    assert not dom.dominates(join_bid, entry_bid)
+
+
+LOOP = """
+.text
+    li a0, 0
+    li a1, 10
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+    halt
+"""
+
+
+def test_loop_detection():
+    program = assemble(LOOP)
+    cfg = build_function_cfg(program, program.entry)
+    loops = find_natural_loops(cfg)
+    assert len(loops) == 1
+    header_bid = cfg.block_of_pc[program.address_of("loop")]
+    assert loops[0].header == header_bid
+    depths = loop_depth_of_blocks(cfg)
+    assert depths[header_bid] == 1
+
+
+def test_nested_loop_depth():
+    source = """
+    .text
+        li a0, 0
+    outer:
+        li a1, 0
+    inner:
+        addi a1, a1, 1
+        blt a1, a0, inner
+        addi a0, a0, 1
+        li t0, 5
+        blt a0, t0, outer
+        halt
+    """
+    program = assemble(source)
+    cfg = build_function_cfg(program, program.entry)
+    depths = loop_depth_of_blocks(cfg)
+    inner_bid = cfg.block_of_pc[program.address_of("inner")]
+    assert depths[inner_bid] == 2
+
+
+CALLS = """
+.text
+    li a0, 3
+    call helper
+    halt
+helper:
+    add a0, a0, a0
+    ret
+"""
+
+
+def test_function_discovery():
+    program = assemble(CALLS)
+    entries = find_function_entries(program)
+    assert program.entry in entries
+    assert program.address_of("helper") in entries
+    assert len(entries) == 2
+
+
+def test_call_falls_through_in_caller_cfg():
+    program = assemble(CALLS)
+    cfg = build_function_cfg(program, program.entry)
+    # caller CFG must not contain the helper body
+    assert program.address_of("helper") not in cfg.block_of_pc
+
+
+def test_return_edges_to_exit():
+    program = assemble(CALLS)
+    helper = build_function_cfg(program, program.address_of("helper"))
+    last = helper.block_at(program.address_of("helper"))
+    assert EXIT_BLOCK in last.successors
+
+
+def test_build_all_cfgs_covers_functions():
+    program = assemble(CALLS)
+    cfgs = build_all_cfgs(program)
+    assert {c.entry_pc for c in cfgs} == set(find_function_entries(program))
+
+
+def test_infinite_loop_has_no_postdominator():
+    source = """
+    .text
+    spin:
+        beq zero, zero, spin
+        halt
+    """
+    program = assemble(source)
+    cfg = build_function_cfg(program, program.entry)
+    pdom = PostDominatorInfo(cfg)
+    spin_bid = cfg.block_of_pc[program.address_of("spin")]
+    # The spin block reaches exit only via the (dead) fallthrough; its
+    # ipdom chain must be consistent - either EXIT or the halt block.
+    ip = pdom.immediate_postdominator(spin_bid)
+    assert ip is None or ip == EXIT_BLOCK or ip in range(cfg.num_blocks)

@@ -1,0 +1,69 @@
+"""CLI command coverage."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def prog(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+    .data
+    v: .dword 5
+    .text
+        la t0, v
+        ld a0, 0(t0)
+        addi a0, a0, 1
+        beqz a0, dead
+        addi a0, a0, 1
+    dead:
+        halt
+    """)
+    return str(path)
+
+
+def test_parser_rejects_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_run_json(prog, capsys):
+    assert main(["run", prog, "--json", "--policy", "levioso"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["policy"] == "levioso"
+    assert payload["committed"] == 6
+    assert "memory" in payload
+
+
+def test_run_functional(prog, capsys):
+    assert main(["run", prog, "--functional"]) == 0
+    out = capsys.readouterr().out
+    assert "instructions: 6" in out
+    assert "a0=0x7" in out
+
+
+def test_attack_exit_codes(capsys):
+    # blocked -> 0; leaked -> 1
+    assert main(["attack", "spectre_v1", "--policy", "levioso"]) == 0
+    assert main(["attack", "spectre_v1", "--policy", "none"]) == 1
+
+
+def test_experiment_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "ROB" in capsys.readouterr().out
+
+
+def test_pipeline_command(prog, capsys):
+    assert main(["pipeline", prog, "--policy", "fence", "--count", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+
+
+def test_error_paths_return_2(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text(".text\n  bogus\n")
+    assert main(["run", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Levioso compiler pass: reconvergence, control dependence, stats."""
+
+from repro.asm import assemble
+from repro.compiler import (
+    control_dependent_pcs,
+    dynamic_dependence_stats,
+    ensure_analysis,
+    run_levioso_pass,
+    static_stats,
+)
+from repro.cfg import build_function_cfg
+from repro.functional import run_program
+
+DIAMOND = """
+.text
+    li a0, 1
+    beq a0, zero, else_side
+    addi a1, zero, 10
+    j join
+else_side:
+    addi a1, zero, 20
+join:
+    addi a2, a1, 1
+    halt
+"""
+
+
+def test_reconvergence_of_diamond_branch():
+    program = assemble(DIAMOND)
+    info = run_levioso_pass(program)
+    branch_pc = program.text_base + 4
+    assert info.reconvergence_of(branch_pc) == program.address_of("join")
+
+
+def test_control_dependent_pcs_are_the_two_arms():
+    program = assemble(DIAMOND)
+    cfg = build_function_cfg(program, program.entry)
+    branch_pc = program.text_base + 4
+    deps = control_dependent_pcs(cfg, branch_pc)
+    join = program.address_of("join")
+    assert deps  # both arms
+    assert all(pc < join for pc in deps)
+    assert branch_pc not in deps
+    assert join not in deps
+
+
+def test_loop_branch_region_is_loop_body():
+    source = """
+    .text
+        li a0, 0
+        li a1, 10
+    loop:
+        addi a0, a0, 1
+        bne a0, a1, loop
+        addi a2, a0, 0
+        halt
+    """
+    program = assemble(source)
+    info = run_levioso_pass(program)
+    branch_pc = program.address_of("loop") + 4
+    # Reconvergence of the loop back-branch is the loop exit.
+    assert info.reconvergence_of(branch_pc) == branch_pc + 4
+    # The loop body (including the branch's own block via the back edge)
+    # is control-dependent on it.
+    assert program.address_of("loop") in info.control_dep_pcs[branch_pc]
+
+
+def test_branch_without_reconvergence():
+    source = """
+    .text
+        li a0, 1
+        beq a0, zero, other
+        halt
+    other:
+        addi a1, zero, 2
+        halt
+    """
+    program = assemble(source)
+    info = run_levioso_pass(program)
+    branch_pc = program.text_base + 4
+    # Both arms halt: the join is the function exit -> no reconvergence PC.
+    assert info.reconvergence_of(branch_pc) is None
+
+
+def test_indirect_jumps_recorded():
+    source = """
+    .text
+        call helper
+        halt
+    helper:
+        ret
+    """
+    program = assemble(source)
+    info = run_levioso_pass(program)
+    assert program.address_of("helper") in info.indirect_pcs
+
+
+def test_degraded_info_loses_reconvergence():
+    program = assemble(DIAMOND)
+    info = run_levioso_pass(program)
+    degraded = info.degraded(keep_reconvergence=False)
+    assert all(v is None for v in degraded.reconv_pc.values())
+    assert set(degraded.reconv_pc) == set(info.reconv_pc)
+
+
+def test_static_stats_reasonable():
+    program = assemble(DIAMOND)
+    stats = static_stats(program)
+    assert stats.static_branches == 1
+    assert stats.reconvergence_coverage == 1.0
+    assert 0 < stats.frac_insts_in_any_region < 1
+
+
+def test_dynamic_stats_true_leq_conservative():
+    source = """
+    .text
+        li a0, 0
+        li a1, 200
+    loop:
+        addi a0, a0, 1
+        and t0, a0, a1
+        or t1, t0, a0
+        xor t2, t1, a1
+        bne a0, a1, loop
+        halt
+    """
+    program = assemble(source)
+    result = run_program(program, trace=True)
+    stats = dynamic_dependence_stats(program, result.trace)
+    assert 0.0 <= stats.true_fraction <= stats.conservative_fraction <= 1.0
+    assert stats.dynamic_instructions == result.instructions
+
+
+def test_ensure_analysis_is_cached():
+    program = assemble(DIAMOND)
+    first = ensure_analysis(program)
+    second = ensure_analysis(program)
+    assert first is second

@@ -1,0 +1,59 @@
+"""compute_idoms on hand-built graphs (independent of the CFG builder)."""
+
+from repro.cfg import compute_idoms
+
+
+def test_straight_line():
+    succs = {0: [1], 1: [2], 2: []}
+    idom = compute_idoms(0, succs)
+    assert idom == {0: 0, 1: 0, 2: 1}
+
+
+def test_diamond():
+    #    0
+    #   / \
+    #  1   2
+    #   \ /
+    #    3
+    succs = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    idom = compute_idoms(0, succs)
+    assert idom[3] == 0  # the join is dominated by the fork, not an arm
+    assert idom[1] == 0 and idom[2] == 0
+
+
+def test_nested_diamonds():
+    succs = {
+        0: [1, 2], 1: [3, 4], 3: [5], 4: [5], 5: [6], 2: [6], 6: [],
+    }
+    idom = compute_idoms(0, succs)
+    assert idom[5] == 1   # inner join
+    assert idom[6] == 0   # outer join
+
+
+def test_loop_back_edge():
+    succs = {0: [1], 1: [2], 2: [1, 3], 3: []}
+    idom = compute_idoms(0, succs)
+    assert idom[1] == 0
+    assert idom[2] == 1
+    assert idom[3] == 2
+
+
+def test_unreachable_nodes_excluded():
+    succs = {0: [1], 1: [], 9: [1]}  # 9 unreachable from 0
+    idom = compute_idoms(0, succs)
+    assert 9 not in idom
+    assert idom[1] == 0
+
+
+def test_multiple_paths_same_length():
+    # 0 -> {1,2,3} -> 4 ; idom(4) must be 0
+    succs = {0: [1, 2, 3], 1: [4], 2: [4], 3: [4], 4: []}
+    idom = compute_idoms(0, succs)
+    assert idom[4] == 0
+
+
+def test_self_loop():
+    succs = {0: [1], 1: [1, 2], 2: []}
+    idom = compute_idoms(0, succs)
+    assert idom[1] == 0
+    assert idom[2] == 1

@@ -1,0 +1,105 @@
+"""DynInst lineage tracking: the security bookkeeping, unit-level."""
+
+from repro.isa import Instruction, Opcode
+from repro.uarch.dyninst import DynInst, Stage
+
+
+def make(seq, opcode=Opcode.ADD, **kwargs):
+    defaults = dict(rd=10, rs1=11, rs2=12)
+    if opcode in (Opcode.LD, Opcode.CFLUSH):
+        defaults = dict(rd=10, rs1=11)
+    inst = Instruction(opcode, **defaults, imm=kwargs.pop("imm", 0))
+    return DynInst(seq=seq, inst=inst, fetch_cycle=0, **kwargs)
+
+
+def completed(dyn, deps=(), roots=(), tainted=False, result=0):
+    dyn.stage = Stage.COMPLETED
+    dyn.out_deps = frozenset(deps)
+    dyn.out_roots = frozenset(roots)
+    dyn.out_tainted = tainted
+    dyn.result = result
+    return dyn
+
+
+def test_alu_merges_producer_lineage():
+    p1 = completed(make(1), deps={100}, roots={1}, tainted=True)
+    p2 = completed(make(2), deps={101}, roots=set(), tainted=False)
+    consumer = make(5)
+    consumer.src1_producer = p1
+    consumer.src2_producer = p2
+    consumer.control_deps = frozenset({102})
+    consumer.finalize_lineage()
+    assert consumer.out_deps == {100, 101, 102}
+    assert consumer.out_roots == {1}
+    assert consumer.out_tainted is True
+
+
+def test_load_result_is_tainted_and_rooted_at_itself():
+    load = make(7, Opcode.LD)
+    load.finalize_lineage()
+    assert load.out_tainted is True
+    assert load.out_roots == {7}
+
+
+def test_cflush_result_is_not_a_taint_root():
+    flush = make(8, Opcode.CFLUSH)
+    flush.finalize_lineage()
+    assert flush.out_roots == frozenset()
+    assert flush.out_tainted is False
+
+
+def test_forwarded_load_inherits_store_lineage():
+    store = make(3, Opcode.SD)
+    completed(store, deps={50}, roots={2}, tainted=True)
+    load = make(9, Opcode.LD)
+    load.forwarded_from = store
+    load.finalize_lineage()
+    assert 50 in load.out_deps
+    assert load.out_roots == {2, 9}
+    assert load.out_tainted
+
+
+def test_arf_taint_reaches_addr_queries():
+    load = make(4, Opcode.LD)
+    load.src1_arf_tainted = True
+    assert load.addr_tainted() is True
+    assert load.addr_roots() == frozenset()
+    assert load.addr_deps() == frozenset()
+
+
+def test_addr_queries_use_producer_not_control_for_roots():
+    producer = completed(make(1, Opcode.LD), deps={60}, roots={1}, tainted=True)
+    load = make(6, Opcode.LD)
+    load.src1_producer = producer
+    load.control_deps = frozenset({61})
+    assert load.addr_deps() == {60, 61}
+    assert load.addr_roots() == {1}
+    assert load.addr_tainted()
+
+
+def test_operand_queries_cover_both_sources():
+    p1 = completed(make(1), roots={1}, tainted=False)
+    p2 = completed(make(2), roots={2}, tainted=True)
+    branch = make(5, Opcode.BEQ)
+    branch.src1_producer = p1
+    branch.src2_producer = p2
+    assert branch.operand_roots() == {1, 2}
+    assert branch.operand_tainted() is True
+
+
+def test_value_reads_prefer_producer_results():
+    producer = completed(make(1), result=42)
+    consumer = make(2)
+    consumer.src1_producer = producer
+    consumer.src2_value = 7
+    assert consumer.value_of_src1() == 42
+    assert consumer.value_of_src2() == 7
+
+
+def test_speculation_source_flag():
+    assert make(1, Opcode.BEQ).is_speculation_source
+    jalr = DynInst(seq=2, inst=Instruction(Opcode.JALR, rd=0, rs1=1), fetch_cycle=0)
+    assert jalr.is_speculation_source
+    assert not make(3, Opcode.ADD).is_speculation_source
+    jal = DynInst(seq=4, inst=Instruction(Opcode.JAL, rd=1, imm=0x1000), fetch_cycle=0)
+    assert not jal.is_speculation_source  # static target, no speculation

@@ -1,0 +1,96 @@
+"""Event-based energy model."""
+
+import pytest
+
+from repro.mem import MemoryHierarchy
+from repro.secure import make_policy
+from repro.uarch import CoreStats, OooCore
+from repro.uarch.energy import (
+    EnergyBreakdown,
+    EnergyParams,
+    energy_delay_product,
+    estimate_energy,
+)
+from repro.workloads import build_workload
+
+
+def make_stats(**kwargs):
+    defaults = dict(cycles=1000, committed=2000, fetched=2200,
+                    committed_loads=400, committed_stores=200,
+                    squashed_insts=100)
+    defaults.update(kwargs)
+    return CoreStats(**defaults)
+
+
+def test_breakdown_components_sum():
+    stats = make_stats()
+    hier = MemoryHierarchy()
+    breakdown = estimate_energy(stats, hier)
+    assert breakdown.total == pytest.approx(breakdown.dynamic + breakdown.static)
+    d = breakdown.as_dict()
+    assert d["total"] == pytest.approx(
+        sum(d[k] for k in ("frontend", "window", "execute", "memory",
+                           "speculation_waste", "security", "static"))
+    )
+
+
+def test_static_scales_with_cycles():
+    hier = MemoryHierarchy()
+    short = estimate_energy(make_stats(cycles=1000), hier)
+    long = estimate_energy(make_stats(cycles=5000), hier)
+    assert long.static == pytest.approx(5 * short.static)
+
+
+def test_squashes_cost_energy():
+    hier = MemoryHierarchy()
+    clean = estimate_energy(make_stats(squashed_insts=0), hier)
+    wasteful = estimate_energy(make_stats(squashed_insts=500), hier)
+    assert wasteful.speculation_waste > clean.speculation_waste
+    assert wasteful.total > clean.total
+
+
+def test_security_charges():
+    hier = MemoryHierarchy()
+    base = estimate_energy(make_stats(), hier)
+    gated = estimate_energy(make_stats(), hier, gate_checks=1000)
+    tracked = estimate_energy(make_stats(), hier, tracks_dependencies=True)
+    assert gated.security > base.security
+    assert tracked.security > base.security
+
+
+def test_dram_dominates_memory_energy():
+    params = EnergyParams()
+    hier = MemoryHierarchy()
+    for i in range(50):
+        hier.load(0x100000 + i * 4096, i * 200)  # all DRAM misses
+    breakdown = estimate_energy(make_stats(), hier, params=params)
+    assert breakdown.memory > 50 * params.dram_access * 0.9
+
+
+def test_edp():
+    b = EnergyBreakdown(static=100.0)
+    assert energy_delay_product(b, 10) == pytest.approx(1000.0)
+
+
+def test_slow_policy_costs_more_total_energy():
+    """Protection that stretches execution burns static energy."""
+    workload = build_workload("gather", scale="test")
+    program = workload.assemble()
+    results = {}
+    for name in ("none", "fence"):
+        result = OooCore(program, policy=make_policy(name)).run()
+        results[name] = estimate_energy(
+            result.stats, result.hierarchy,
+            gate_checks=result.stats.loads_gated,
+        )
+    assert results["fence"].total > results["none"].total
+
+
+def test_energy_experiment_module():
+    from repro.harness.experiments import energy as energy_exp
+
+    result = energy_exp.run(scale="test", workloads=("crc", "stream"))
+    assert result.rows[-1][0] == "geomean"
+    geomeans = result.extras["geomeans"]
+    # Levioso's energy overhead must not exceed the conservative baselines'.
+    assert geomeans["levioso"][0] <= geomeans["fence"][0] + 0.01

@@ -1,0 +1,54 @@
+"""Exception hierarchy and small-surface coverage."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    AssemblerError,
+    ConfigError,
+    EncodingError,
+    IsaError,
+    MemoryFault,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TimeoutError_,
+)
+from repro.harness import format_series
+
+
+def test_every_error_is_a_repro_error():
+    for cls in (
+        IsaError, EncodingError, AssemblerError, SimulationError,
+        MemoryFault, TimeoutError_, AnalysisError, ConfigError, PolicyError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_assembler_error_line_prefix():
+    err = AssemblerError("bad thing", line=7)
+    assert "line 7" in str(err)
+    assert err.line == 7
+    bare = AssemblerError("bad thing")
+    assert bare.line is None
+
+
+def test_memory_fault_formats_address():
+    fault = MemoryFault(0xDEAD, "misaligned")
+    assert "0xdead" in str(fault)
+    assert fault.address == 0xDEAD
+
+
+def test_encoding_error_is_isa_error():
+    assert issubclass(EncodingError, IsaError)
+
+
+def test_format_series():
+    text = format_series("fence", [(64, 0.5), (128, 0.75)], unit="x")
+    assert text.startswith("fence:")
+    assert "64=0.500x" in text
+
+
+def test_catching_repro_error_catches_all():
+    with pytest.raises(ReproError):
+        raise PolicyError("nope")

@@ -1,0 +1,155 @@
+"""Functional simulator + shared semantics: edge cases."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import SimulationError, TimeoutError_
+from repro.functional import FunctionalSimulator, run_program
+from repro.functional.semantics import alu_result, branch_taken
+from repro.isa import Opcode, to_unsigned
+
+U = to_unsigned
+
+
+# --------------------------------------------------------- pure ALU semantics
+def test_arith_wraps_at_64_bits():
+    assert alu_result(Opcode.ADD, U(-1), 1, 0, 0) == 0
+    assert alu_result(Opcode.SUB, 0, 1, 0, 0) == U(-1)
+    assert alu_result(Opcode.MUL, U(-1), 2, 0, 0) == U(-2)
+
+
+def test_shift_amounts_mask_to_six_bits():
+    assert alu_result(Opcode.SLL, 1, 64, 0, 0) == 1  # 64 & 63 == 0
+    assert alu_result(Opcode.SRL, 1 << 63, 63, 0, 0) == 1
+    assert alu_result(Opcode.SRA, U(-8), 1, 0, 0) == U(-4)
+
+
+def test_division_riscv_semantics():
+    assert alu_result(Opcode.DIV, 7, 0, 0, 0) == U(-1)       # div by zero
+    assert alu_result(Opcode.REM, 7, 0, 0, 0) == 7
+    int_min = 1 << 63
+    assert alu_result(Opcode.DIV, int_min, U(-1), 0, 0) == int_min  # overflow
+    assert alu_result(Opcode.REM, int_min, U(-1), 0, 0) == 0
+    # C-style truncation toward zero.
+    assert alu_result(Opcode.DIV, U(-7), 2, 0, 0) == U(-3)
+    assert alu_result(Opcode.REM, U(-7), 2, 0, 0) == U(-1)
+
+
+def test_mulh_signed_high_bits():
+    assert alu_result(Opcode.MULH, U(-1), U(-1), 0, 0) == 0  # (-1)*(-1)=1, high=0
+    assert alu_result(Opcode.MULH, 1 << 62, 4, 0, 0) == 1
+
+
+def test_comparisons_signed_vs_unsigned():
+    assert alu_result(Opcode.SLT, U(-1), 0, 0, 0) == 1
+    assert alu_result(Opcode.SLTU, U(-1), 0, 0, 0) == 0
+    assert branch_taken(Opcode.BLT, U(-1), 0)
+    assert not branch_taken(Opcode.BLTU, U(-1), 0)
+    assert branch_taken(Opcode.BGEU, U(-1), 0)
+
+
+def test_alu_rejects_non_alu_opcode():
+    with pytest.raises(SimulationError):
+        alu_result(Opcode.LD, 0, 0, 0, 0)
+    with pytest.raises(SimulationError):
+        branch_taken(Opcode.ADD, 0, 0)
+
+
+# ------------------------------------------------------------- memory access
+def test_subword_loads_sign_and_zero_extend():
+    program = assemble("""
+    .data
+    v: .dword 0xFFFFFFFFFFFFFF80
+    .text
+        la t0, v
+        lb a0, 0(t0)
+        lbu a1, 0(t0)
+        lh a2, 0(t0)
+        lhu a3, 0(t0)
+        lw a4, 0(t0)
+        lwu a5, 0(t0)
+        halt
+    """)
+    state = run_program(program).state
+    assert state.read_reg(10) == U(-128)
+    assert state.read_reg(11) == 0x80
+    assert state.read_reg(12) == U(-128)
+    assert state.read_reg(13) == 0xFF80
+    assert state.read_reg(14) == U(-128)
+    assert state.read_reg(15) == 0xFFFFFF80
+
+
+def test_subword_stores_do_not_clobber_neighbours():
+    program = assemble("""
+    .data
+    v: .dword 0x1111111111111111
+    .text
+        la t0, v
+        li t1, 0xAB
+        sb t1, 2(t0)
+        ld a0, 0(t0)
+        halt
+    """)
+    state = run_program(program).state
+    assert state.read_reg(10) == 0x1111111111AB1111
+
+
+def test_x0_is_hardwired_zero():
+    program = assemble("""
+    .text
+        li a0, 5
+        add zero, a0, a0
+        add a1, zero, zero
+        halt
+    """)
+    state = run_program(program).state
+    assert state.read_reg(0) == 0
+    assert state.read_reg(11) == 0
+
+
+# ---------------------------------------------------------------- run control
+def test_timeout_guard():
+    program = assemble("""
+    .text
+    spin:
+        j spin
+    """)
+    with pytest.raises(TimeoutError_):
+        run_program(program, max_instructions=1000)
+
+
+def test_wild_jump_faults():
+    program = assemble("""
+    .text
+        li t0, 0x99999
+        jr t0
+    """)
+    with pytest.raises(SimulationError):
+        run_program(program)
+
+
+def test_step_after_halt_returns_none():
+    sim = FunctionalSimulator(assemble(".text\n  halt\n"))
+    assert sim.step() is not None
+    assert sim.state.halted
+    assert sim.step() is None
+
+
+def test_trace_records_memory_and_branches():
+    program = assemble("""
+    .data
+    v: .dword 3
+    .text
+        la t0, v
+        ld a0, 0(t0)
+        beqz a0, done
+        addi a0, a0, 1
+    done:
+        halt
+    """)
+    result = run_program(program, trace=True)
+    kinds = [(e.opcode.is_load, e.taken) for e in result.trace]
+    load_entries = [e for e in result.trace if e.opcode.is_load]
+    assert load_entries[0].mem_address == program.address_of("v")
+    branch_entries = [e for e in result.trace if e.opcode.is_branch]
+    assert branch_entries[0].taken is False

@@ -1,0 +1,51 @@
+"""L1 instruction cache behaviour."""
+
+from repro.asm import assemble
+from repro.functional import run_program
+from repro.mem import MemoryHierarchy
+from repro.uarch import OooCore
+
+
+def test_icache_fetch_hit_is_free():
+    hier = MemoryHierarchy()
+    first = hier.fetch(0x1000, cycle=0)
+    assert first > 0  # cold miss pays the fill path
+    second = hier.fetch(0x1000, cycle=first)
+    assert second == first  # hit: no stall
+
+
+def test_icache_appears_in_stats():
+    hier = MemoryHierarchy()
+    hier.fetch(0x1000, 0)
+    stats = hier.stats()
+    assert stats["l1i"]["misses"] == 1
+
+
+def test_core_pays_icache_cold_misses_once():
+    source = """
+    .text
+        li a0, 0
+        li a1, 50
+    loop:
+        addi a0, a0, 1
+        bne a0, a1, loop
+        halt
+    """
+    program = assemble(source)
+    core = OooCore(program)
+    result = core.run()
+    assert result.regs == run_program(program).regs
+    icache = core.hierarchy.l1i.stats
+    # The tiny loop occupies one line: exactly a couple of cold misses,
+    # then hits forever.
+    assert 1 <= icache.misses <= 3
+    assert icache.hits > icache.misses
+
+
+def test_long_code_footprint_misses_more():
+    body = "\n".join("    addi a0, a0, 1" for _ in range(600))  # ~2.4 KiB
+    program = assemble(f".text\n{body}\n    halt\n")
+    core = OooCore(program)
+    core.run()
+    # 600 instructions * 4 B / 64 B lines ~= 38 cold misses.
+    assert core.hierarchy.l1i.stats.misses >= 30

@@ -1,0 +1,143 @@
+"""ISA layer: registers, opcodes, instruction records, encodings."""
+
+import pytest
+
+from repro.errors import EncodingError, IsaError
+from repro.isa import (
+    Instruction,
+    Opcode,
+    parse_register,
+    register_name,
+    to_signed,
+    to_unsigned,
+)
+from repro.isa.encoding import (
+    RECORD_BYTES,
+    decode,
+    decode_program_text,
+    encode,
+    encode_program_text,
+)
+
+
+# ----------------------------------------------------------------- registers
+def test_parse_register_abi_and_numeric():
+    assert parse_register("zero") == 0
+    assert parse_register("ra") == 1
+    assert parse_register("sp") == parse_register("x2")
+    assert parse_register("fp") == parse_register("s0") == 8
+    assert parse_register("t6") == 31
+
+
+def test_parse_register_rejects_unknown():
+    with pytest.raises(IsaError):
+        parse_register("x32")
+    with pytest.raises(IsaError):
+        parse_register("r5")
+
+
+def test_register_name_round_trips():
+    for i in range(32):
+        assert parse_register(register_name(i)) == i
+
+
+def test_signedness_helpers():
+    assert to_signed(to_unsigned(-1)) == -1
+    assert to_unsigned(-1) == (1 << 64) - 1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed(5) == 5
+
+
+# -------------------------------------------------------------------- opcodes
+def test_opcode_classes():
+    assert Opcode.LD.is_load and Opcode.LD.is_mem
+    assert Opcode.SD.is_store and not Opcode.SD.is_load
+    assert Opcode.BEQ.is_branch and Opcode.BEQ.is_control
+    assert Opcode.JAL.is_jump and not Opcode.JAL.is_branch
+    assert Opcode.CFLUSH.is_load  # transmitter-class
+    assert not Opcode.CFLUSH.writes_rd
+
+
+def test_access_sizes():
+    assert Opcode.LB.access_size == 1
+    assert Opcode.LH.access_size == 2
+    assert Opcode.LWU.access_size == 4
+    assert Opcode.SD.access_size == 8
+    with pytest.raises(IsaError):
+        Opcode.ADD.access_size
+
+
+def test_opcode_codes_unique():
+    codes = [op.code for op in Opcode]
+    assert len(codes) == len(set(codes))
+
+
+# ---------------------------------------------------------------- instruction
+def test_instruction_validates_registers():
+    with pytest.raises(IsaError):
+        Instruction(Opcode.ADD, rd=32)
+
+
+def test_dest_and_source_regs():
+    inst = Instruction(Opcode.ADD, rd=5, rs1=6, rs2=7)
+    assert inst.dest_reg() == 5
+    assert inst.source_regs() == (6, 7)
+    # x0 writes are discarded and x0 reads are free.
+    zero_dest = Instruction(Opcode.ADD, rd=0, rs1=0, rs2=7)
+    assert zero_dest.dest_reg() is None
+    assert zero_dest.source_regs() == (7,)
+
+
+def test_branch_target_accessors():
+    branch = Instruction(Opcode.BNE, rs1=1, rs2=2, imm=0x2000, pc=0x1000)
+    assert branch.branch_target == 0x2000
+    assert branch.fallthrough == 0x1004
+    with pytest.raises(IsaError):
+        Instruction(Opcode.ADD).branch_target
+
+
+def test_instruction_text_forms():
+    assert "add" in Instruction(Opcode.ADD, rd=10, rs1=11, rs2=12).text()
+    assert "0x2000" in Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=0x2000).text()
+    assert "(sp)" in Instruction(Opcode.LD, rd=10, rs1=2, imm=8).text()
+    assert Instruction(Opcode.RDCYCLE, rd=5).text() == "rdcycle t0"
+    assert Instruction(Opcode.CFLUSH, rs1=2, imm=16).text() == "cflush 16(sp)"
+
+
+# ------------------------------------------------------------------ encoding
+def test_encode_decode_round_trip():
+    insts = [
+        Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+        Instruction(Opcode.LI, rd=10, imm=-(1 << 40)),
+        Instruction(Opcode.LD, rd=4, rs1=2, imm=8),
+        Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=0x1040),
+        Instruction(Opcode.HALT),
+    ]
+    for inst in insts:
+        decoded = decode(encode(inst))
+        assert decoded.opcode == inst.opcode
+        assert (decoded.rd, decoded.rs1, decoded.rs2) == (inst.rd, inst.rs1, inst.rs2)
+        assert decoded.imm == inst.imm
+
+
+def test_decode_rejects_bad_records():
+    with pytest.raises(EncodingError):
+        decode(b"\x00" * (RECORD_BYTES - 1))
+    bad_opcode = b"\xff" + b"\x00" * (RECORD_BYTES - 1)
+    with pytest.raises(EncodingError):
+        decode(bad_opcode)
+
+
+def test_program_image_round_trip():
+    insts = [
+        Instruction(Opcode.LI, rd=10, imm=7, pc=0x1000),
+        Instruction(Opcode.ADDI, rd=10, rs1=10, imm=1, pc=0x1004),
+        Instruction(Opcode.HALT, pc=0x1008),
+    ]
+    image = encode_program_text(insts)
+    assert len(image) == 3 * RECORD_BYTES
+    back = decode_program_text(image, base_pc=0x1000)
+    assert [i.pc for i in back] == [0x1000, 0x1004, 0x1008]
+    assert [i.opcode for i in back] == [i.opcode for i in insts]
+    with pytest.raises(EncodingError):
+        decode_program_text(image[:-1], base_pc=0)

@@ -1,0 +1,175 @@
+"""Targeted squash-recovery scenarios on the OoO core."""
+
+from repro.asm import assemble
+from repro.functional import run_program
+from repro.secure import make_policy
+from repro.uarch import CoreConfig, OooCore
+
+
+def check(source, policy="none", **kwargs):
+    program = assemble(source)
+    functional = run_program(program)
+    core = OooCore(program, policy=make_policy(policy), **kwargs)
+    result = core.run()
+    assert result.regs == functional.regs
+    assert result.memory.equal_contents(functional.state.memory)
+    return core, result
+
+
+def test_nested_mispredicts_recover():
+    """Two data-dependent unpredictable branches back to back."""
+    source = """
+    .data
+    vals: .dword 7, 2, 9, 4, 1, 8, 3, 6, 5, 0, 11, 13, 12, 15, 14, 10
+    .text
+        la s0, vals
+        li s1, 0
+        li s2, 16
+        li a0, 0
+    loop:
+        slli t0, s1, 3
+        add t0, s0, t0
+        ld t1, 0(t0)
+        andi t2, t1, 1
+        beqz t2, even
+        andi t3, t1, 2
+        beqz t3, odd_small
+        addi a0, a0, 3
+        j next
+    odd_small:
+        addi a0, a0, 1
+        j next
+    even:
+        addi a0, a0, 10
+    next:
+        addi s1, s1, 1
+        bne s1, s2, loop
+        halt
+    """
+    core, result = check(source)
+    assert result.stats.branch_mispredicts >= 2
+
+
+def test_wrong_path_stores_never_commit():
+    """Stores fetched down a mispredicted path must not touch memory."""
+    source = """
+    .data
+    guard: .dword 1
+    victim: .dword 0x1111
+    .text
+        la t0, guard
+        la t1, victim
+        cflush 0(t0)
+        fence
+        ld t2, 0(t0)       # slow: branch resolves late
+        bnez t2, safe      # taken architecturally; cold predictor says no
+        li t3, 0xDEAD
+        sd t3, 0(t1)       # wrong-path store
+    safe:
+        ld a0, 0(t1)
+        halt
+    """
+    core, result = check(source)
+    assert result.regs[10] == 0x1111  # never 0xDEAD
+
+
+def test_squash_restores_rename_for_repeated_reg():
+    """Wrong path overwrites a register many times; recovery must restore
+    the right producer."""
+    source = """
+    .data
+    guard: .dword 5
+    .text
+        la t0, guard
+        li a0, 42
+        cflush 0(t0)
+        fence
+        ld t2, 0(t0)
+        beqz t2, skip      # not taken architecturally (t2=5), cold predictor
+                           # agrees... exercise the other direction below
+        addi a0, a0, 1     # executes architecturally
+    skip:
+        li t3, 1
+        bnez t3, over      # always taken, cold predictor says not-taken
+        li a0, 0           # wrong path clobbers a0 repeatedly
+        li a0, 1
+        li a0, 2
+        li a0, 3
+    over:
+        addi a0, a0, 100
+        halt
+    """
+    _, result = check(source)
+    assert result.regs[10] == 143
+
+
+def test_ras_corruption_recovers():
+    """Wrong-path call pushes onto the RAS; squash must restore it."""
+    source = """
+    .data
+    guard: .dword 1
+    .text
+        la t0, guard
+        cflush 0(t0)
+        fence
+        ld t1, 0(t0)
+        li a0, 0
+        call work          # legitimate call
+        bnez t1, fin       # taken; cold predictor mispredicts to fallthrough
+        call work          # wrong-path call corrupts the RAS
+        call work
+    fin:
+        addi a0, a0, 1000
+        halt
+    work:
+        addi a0, a0, 7
+        ret
+    """
+    _, result = check(source)
+    assert result.regs[10] == 1007
+
+
+def test_deep_speculation_with_tiny_fetch_queue():
+    source = """
+    .text
+        li a0, 0
+        li a1, 300
+    loop:
+        andi t0, a0, 7
+        beqz t0, bump
+        addi a0, a0, 1
+        j cont
+    bump:
+        addi a0, a0, 2
+    cont:
+        blt a0, a1, loop
+        halt
+    """
+    config = CoreConfig(fetch_queue_size=4, rob_size=32, iq_size=16,
+                        lq_size=8, sq_size=8)
+    check(source, config=config)
+
+
+def test_mispredict_under_every_policy():
+    source = """
+    .data
+    data: .dword 3, 1, 4, 1, 5, 9, 2, 6
+    .text
+        la s0, data
+        li s1, 0
+        li s2, 8
+        li a0, 0
+    loop:
+        slli t0, s1, 3
+        add t0, s0, t0
+        ld t1, 0(t0)
+        andi t2, t1, 1
+        beqz t2, skip
+        add a0, a0, t1
+    skip:
+        addi s1, s1, 1
+        bne s1, s2, loop
+        halt
+    """
+    for policy in ("none", "fence", "dom", "nda", "stt", "ctt", "levioso"):
+        check(source, policy=policy)

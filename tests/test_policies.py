@@ -1,0 +1,115 @@
+"""Security policies on the OoO core: timing-only, correctly ordered."""
+
+import pytest
+
+from repro.functional import run_program
+from repro.secure import ALL_POLICY_NAMES, make_policy
+from repro.uarch import OooCore
+from repro.workloads import build_workload
+
+POLICY_SET = ("none", "fence", "dom", "stt", "ctt", "levioso")
+
+
+def run_policy(workload, policy_name, **kwargs):
+    program = workload.assemble()
+    core = OooCore(program, policy=make_policy(policy_name), **kwargs)
+    return core.run()
+
+
+@pytest.fixture(scope="module")
+def gather_results():
+    workload = build_workload("gather", scale="test")
+    return {name: run_policy(workload, name) for name in POLICY_SET}, workload
+
+
+def test_policies_preserve_architecture(gather_results):
+    results, workload = gather_results
+    baseline = run_program(workload.assemble())
+    for name, result in results.items():
+        assert result.regs == baseline.regs, f"{name} changed architectural state"
+        assert workload.validate(result.regs), f"{name} failed the self-check"
+
+
+def test_overhead_ordering_on_gather(gather_results):
+    """The paper's central claim, on its most favourable workload shape:
+
+    unprotected <= levioso < ctt <= fence, with levioso well below ctt.
+    """
+    results, _ = gather_results
+    cycles = {name: r.cycles for name, r in results.items()}
+    assert cycles["none"] <= cycles["levioso"]
+    assert cycles["levioso"] < cycles["ctt"]
+    assert cycles["ctt"] <= cycles["fence"]
+    # Levioso should recover a large part of the conservative gap.
+    gap_ctt = cycles["ctt"] - cycles["none"]
+    gap_lev = cycles["levioso"] - cycles["none"]
+    assert gap_lev < 0.7 * gap_ctt, (
+        f"levioso gap {gap_lev} vs ctt gap {gap_ctt}"
+    )
+
+
+def test_stt_cheaper_than_comprehensive(gather_results):
+    results, _ = gather_results
+    assert results["stt"].cycles <= results["ctt"].cycles
+
+
+def test_fence_gates_more_loads_than_levioso(gather_results):
+    results, _ = gather_results
+    assert results["fence"].stats.loads_gated >= results["levioso"].stats.loads_gated
+    assert (
+        results["fence"].stats.load_gate_cycles
+        > results["levioso"].stats.load_gate_cycles
+    )
+
+
+def test_none_policy_gates_nothing(gather_results):
+    results, _ = gather_results
+    assert results["none"].stats.loads_gated == 0
+
+
+@pytest.mark.parametrize("policy", POLICY_SET)
+@pytest.mark.parametrize("workload_name", ["pchase", "branchy", "sandbox", "crc"])
+def test_architectural_equivalence_across_suite(workload_name, policy):
+    workload = build_workload(workload_name, scale="test")
+    program = workload.assemble()
+    functional = run_program(program)
+    result = OooCore(program, policy=make_policy(policy)).run()
+    assert result.regs == functional.regs
+    assert result.memory.equal_contents(functional.state.memory)
+
+
+def test_levioso_without_compiler_info_behaves_conservatively():
+    """Ablation: no reconvergence metadata -> every branch region extends to
+    resolution, so Levioso degenerates toward the conservative baseline."""
+    workload = build_workload("gather", scale="test")
+    program = workload.assemble()
+    informed = OooCore(program, policy=make_policy("levioso")).run()
+    blind_core = OooCore(
+        program, policy=make_policy("levioso"), use_compiler_info=False
+    )
+    blind = blind_core.run()
+    assert informed.regs == blind.regs
+    assert blind.cycles > informed.cycles
+
+
+def test_stream_costs_stay_moderate():
+    """Streaming with a data-dependent fixup branch: taint policies pay a
+    moderate price; STT (expiring taint) and Levioso stay near free."""
+    workload = build_workload("stream", scale="test")
+    none_r = run_policy(workload, "none")
+    ctt_overhead = run_policy(workload, "ctt").cycles / none_r.cycles - 1.0
+    assert ctt_overhead < 0.35, f"ctt overhead {ctt_overhead:.2%} on stream"
+    for name in ("stt", "levioso"):
+        result = run_policy(workload, name)
+        overhead = result.cycles / none_r.cycles - 1.0
+        assert overhead < 0.10, f"{name} overhead {overhead:.2%} on stream"
+        assert overhead <= ctt_overhead + 0.01
+
+
+def test_policy_stats_are_consistent(gather_results):
+    results, _ = gather_results
+    for name, result in results.items():
+        stats = result.stats
+        assert stats.load_gate_cycles >= stats.loads_gated >= 0
+        assert stats.committed > 0
+        assert stats.cycles > 0

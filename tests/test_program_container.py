@@ -1,0 +1,75 @@
+"""Program container helpers."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import SimulationError
+
+SOURCE = """
+.data
+v: .dword 9
+.secret k
+key: .dword 1
+.public
+.text
+start:
+    la t0, v
+    ld a0, 0(t0)
+    beqz a0, out
+    addi a0, a0, 1
+out:
+    halt
+"""
+
+
+@pytest.fixture
+def program():
+    return assemble(SOURCE, name="container")
+
+
+def test_inst_at_and_bounds(program):
+    first = program.inst_at(program.text_base)
+    assert first.opcode.mnemonic == "li"  # la expands to li
+    with pytest.raises(SimulationError):
+        program.inst_at(program.text_end)
+    assert program.try_inst_at(program.text_end) is None
+
+
+def test_index_of(program):
+    assert program.index_of(program.text_base) == 0
+    assert program.index_of(program.text_base + 8) == 2
+
+
+def test_symbols_and_entry(program):
+    assert program.address_of("start") == program.text_base
+    with pytest.raises(SimulationError):
+        program.address_of("nonexistent")
+    assert program.entry == program.text_base
+
+
+def test_static_counts(program):
+    counts = program.static_counts()
+    assert counts["total"] == len(program)
+    assert counts["loads"] == 1
+    assert counts["branches"] == 1
+
+
+def test_listing_contains_labels(program):
+    listing = program.listing()
+    assert "start:" in listing
+    assert "beq" in listing
+
+
+def test_iteration_order(program):
+    pcs = [inst.pc for inst in program]
+    assert pcs == sorted(pcs)
+
+
+def test_secret_range_queries(program):
+    key = program.address_of("key")
+    assert program.is_secret_address(key)
+    assert program.is_secret_address(key + 7)
+    assert not program.is_secret_address(key + 8)
+    assert not program.is_secret_address(program.address_of("v"))
+    # size-spanning query overlapping the range
+    assert program.is_secret_address(key - 4, size=8)

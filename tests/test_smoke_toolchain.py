@@ -1,0 +1,54 @@
+"""End-to-end smoke tests: assemble + run small programs functionally."""
+
+from repro.asm import assemble
+from repro.functional import run_program
+
+SUM_LOOP = """
+.data
+result: .dword 0
+.text
+    li a0, 0          # sum
+    li a1, 1          # i
+    li a2, 101        # limit
+loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    bne a1, a2, loop
+    la t0, result
+    sd a0, 0(t0)
+    halt
+"""
+
+
+def test_sum_loop_computes_gauss():
+    program = assemble(SUM_LOOP)
+    result = run_program(program)
+    assert result.state.read_reg(10) == 5050  # a0
+    addr = program.address_of("result")
+    assert result.state.memory.read_int(addr, 8) == 5050
+
+
+def test_instruction_count_is_sane():
+    program = assemble(SUM_LOOP)
+    result = run_program(program)
+    # 3 setup + 100 iterations * 3 + 3 tail
+    assert result.instructions == 3 + 100 * 3 + 3
+
+
+def test_call_ret_and_stack():
+    source = """
+    .text
+        li a0, 7
+        call double
+        call double
+        halt
+    double:
+        addi sp, sp, -8
+        sd ra, 0(sp)
+        add a0, a0, a0
+        ld ra, 0(sp)
+        addi sp, sp, 8
+        ret
+    """
+    result = run_program(assemble(source))
+    assert result.state.read_reg(10) == 28

@@ -1,0 +1,74 @@
+"""Pipeline-timeline rendering."""
+
+from repro.asm import assemble
+from repro.secure import make_policy
+from repro.uarch import OooCore, gate_summary, render_timeline
+
+SOURCE = """
+.data
+a: .dword 1,2,3,4,5,6,7,8
+g: .dword a
+.text
+    la gp, g
+    ld s0, 0(gp)
+    li s3, 0
+    li s4, 8
+loop:
+    slli t0, s3, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    add a0, a0, t1
+    addi s3, s3, 1
+    bne s3, s4, loop
+    halt
+"""
+
+
+def run_recorded(policy="none"):
+    core = OooCore(
+        assemble(SOURCE), policy=make_policy(policy), record_pipeline=True
+    )
+    core.run()
+    return core
+
+
+def test_retired_list_populated_in_order():
+    core = run_recorded()
+    seqs = [d.seq for d in core.retired]
+    assert seqs == sorted(seqs)
+    assert len(core.retired) == core.stats.committed
+
+
+def test_timeline_contains_lifecycle_markers():
+    core = run_recorded()
+    text = render_timeline(core.retired, start=0, count=10)
+    assert "F" in text and "R" in text
+    assert "cycles" in text.splitlines()[0]
+    # One line per rendered instruction plus the header.
+    assert len(text.splitlines()) == 11
+
+
+def test_timeline_scales_long_windows():
+    core = run_recorded()
+    text = render_timeline(core.retired, count=len(core.retired), max_width=40)
+    assert "1 char =" in text.splitlines()[0]
+    assert all(len(line) < 140 for line in text.splitlines())
+
+
+def test_timeline_empty_range():
+    core = run_recorded()
+    assert "no retired" in render_timeline(core.retired, start=10_000)
+
+
+def test_gate_summary_reports_fence_delays():
+    core = run_recorded("fence")
+    summary = gate_summary(core.retired)
+    assert "gated" in summary
+    none_core = run_recorded("none")
+    assert gate_summary(none_core.retired) == "no instructions were gated"
+
+
+def test_recording_off_by_default():
+    core = OooCore(assemble(SOURCE))
+    core.run()
+    assert core.retired == []

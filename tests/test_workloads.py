@@ -1,0 +1,47 @@
+"""SPEClite workloads: self-checks on the functional golden model."""
+
+import pytest
+
+from repro.functional import run_program
+from repro.workloads import WORKLOAD_NAMES, build_suite, build_workload
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_selfcheck_functional(name):
+    workload = build_workload(name, scale="test")
+    program = workload.assemble()
+    result = run_program(program, max_instructions=2_000_000)
+    assert workload.validate(result.regs), (
+        f"{name}: a0={result.regs[10]:#x} expected {workload.check_value:#x}"
+    )
+
+
+def test_suite_has_fourteen_distinct_workloads():
+    suite = build_suite(scale="test")
+    names = [w.name for w in suite]
+    assert len(names) == 14
+    assert len(set(names)) == 14
+    categories = {w.category for w in suite}
+    assert categories == {"memory", "control", "compute"}
+
+
+def test_cipher_marks_secret_key():
+    workload = build_workload("cipher", scale="test")
+    program = workload.assemble()
+    key_addr = program.address_of("key")
+    assert program.is_secret_address(key_addr)
+    assert program.is_secret_address(key_addr + 31)
+    assert not program.is_secret_address(program.address_of("messages"))
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        build_workload("perlbench")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_dynamic_size_in_budget(name):
+    """Test scale must stay small enough for the cycle-level tests."""
+    workload = build_workload(name, scale="test")
+    result = run_program(workload.assemble(), max_instructions=2_000_000)
+    assert 1_000 < result.instructions < 120_000
