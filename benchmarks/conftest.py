@@ -8,6 +8,11 @@ for the full-size runs recorded in EXPERIMENTS.md.
 Simulations are deterministic, so every benchmark uses a single round
 (``benchmark.pedantic(..., rounds=1)``): the interesting output is the
 regenerated table (written to ``benchmarks/_artifacts/``), not timing jitter.
+
+Set ``REPRO_JOBS=N`` to fan the shared runner's simulations out over N
+worker processes (the whole experiment grid is prefetched up front), and
+``REPRO_CACHE_DIR=...`` with ``REPRO_BENCH_CACHE=1`` to persist results
+across benchmark invocations.
 """
 
 from __future__ import annotations
@@ -17,9 +22,12 @@ import pathlib
 
 import pytest
 
-from repro.harness import ExperimentRunner
+from repro.harness import ParallelRunner, ResultCache, plan_experiment_grid
 
 ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+#: Experiments the shared runner prefetches when REPRO_JOBS > 1.
+PREFETCH_IDS = ("fig1", "fig2", "fig3", "ablationA", "ablationB", "energy")
 
 
 def bench_scale() -> str:
@@ -32,9 +40,18 @@ def scale() -> str:
 
 
 @pytest.fixture(scope="session")
-def shared_runner(scale) -> ExperimentRunner:
-    """One runner for the whole session so baselines are simulated once."""
-    return ExperimentRunner(scale=scale)
+def shared_runner(scale) -> ParallelRunner:
+    """One runner for the whole session so baselines are simulated once.
+
+    With ``REPRO_JOBS=N`` (N > 1) the grid shared by the figure benchmarks
+    is simulated up front across N processes; results are bit-identical to
+    the serial path, just warm by the time each benchmark asks.
+    """
+    cache = ResultCache() if os.environ.get("REPRO_BENCH_CACHE") else None
+    runner = ParallelRunner(scale=scale, cache=cache)
+    if runner.jobs > 1:
+        runner.prefetch(plan_experiment_grid(PREFETCH_IDS, runner))
+    return runner
 
 
 def save_artifact(name: str, text: str) -> None:

@@ -9,7 +9,7 @@ from .gshare import GsharePredictor
 from .predictor import DirectionPredictor, SaturatingCounter
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _TournamentContext:
     bimodal_pred: bool
     gshare_pred: bool

@@ -5,12 +5,17 @@ Subcommands::
     repro run FILE.s [--policy P] [--functional] [--trace]
     repro disasm FILE.s
     repro analyze FILE.s                 # Levioso compiler pass report
-    repro bench [--scale S] [--policies ...] [--workloads ...]
-    repro experiment ID [--scale S]      # regenerate one table/figure
+    repro bench [--scale S] [--jobs N] [--policies ...] [--workloads ...]
+    repro experiment ID... [--scale S] [--jobs N] [--cache]
     repro attack NAME [--policy P] [--secret N]
     repro pipeline FILE.s [--policy P]   # per-instruction timeline view
     repro report [--scale S]             # fold bench artifacts into EXPERIMENTS.md
     repro suite                          # list workloads
+    repro cache {info,clear}             # persistent run-result cache
+
+``--jobs N`` fans simulations out over N worker processes (default:
+``$REPRO_JOBS`` or 1); ``--cache`` persists run results on disk (location:
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-levioso/runs``).
 
 Also usable as ``python -m repro ...``.
 """
@@ -25,7 +30,14 @@ from .attacks import ATTACKS, run_attack
 from .compiler import run_levioso_pass, static_stats
 from .errors import ReproError
 from .functional import run_program
-from .harness import ExperimentRunner, format_table
+from .harness import (
+    GridPoint,
+    ParallelRunner,
+    ResultCache,
+    default_jobs,
+    format_table,
+    run_experiments,
+)
 from .harness.experiments import EXPERIMENTS
 from .isa import register_name
 from .secure import ALL_POLICY_NAMES, make_policy
@@ -98,10 +110,22 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _make_cache(args) -> ResultCache | None:
+    if not getattr(args, "cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
 def cmd_bench(args) -> int:
-    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    cache = _make_cache(args)
+    runner = ParallelRunner(
+        scale=args.scale, verbose=args.jobs <= 1, jobs=args.jobs, cache=cache
+    )
     policies = args.policies or ["none", "fence", "ctt", "levioso"]
     workloads = args.workloads or list(WORKLOAD_NAMES)
+    runner.prefetch(
+        GridPoint(w, p) for w in workloads for p in ["none", *policies]
+    )
     rows = []
     for name in workloads:
         base = runner.run(name, "none")
@@ -115,16 +139,34 @@ def cmd_bench(args) -> int:
         rows.append(row)
     print()
     print(format_table(["benchmark", "base cycles", *policies], rows))
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, {cache.stats.misses} misses")
     return 0
 
 
 def cmd_experiment(args) -> int:
-    module = EXPERIMENTS[args.id]
-    kwargs = {}
-    if args.id not in ("table1", "fig5"):
-        kwargs["scale"] = args.scale
-    result = module.run(**kwargs)
-    print(result.text())
+    cache = _make_cache(args)
+    results = run_experiments(
+        args.ids, scale=args.scale, jobs=args.jobs, cache=cache
+    )
+    for result in results.values():
+        print(result.text())
+        print()
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, {cache.stats.misses} misses, "
+              f"{cache.stats.stores} stored")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
+        return 0
+    print(json.dumps(cache.info(), indent=2))
     return 0
 
 
@@ -197,16 +239,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(func=cmd_analyze)
 
+    def add_parallel_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=default_jobs(), metavar="N",
+            help="worker processes for simulations (default: $REPRO_JOBS or 1)",
+        )
+        p.add_argument(
+            "--cache", action="store_true",
+            help="persist run results in the on-disk cache",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache location (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-levioso/runs)",
+        )
+
     p = sub.add_parser("bench", help="overhead table across the suite")
     p.add_argument("--scale", default="test", choices=("test", "ref"))
     p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES)
     p.add_argument("--workloads", nargs="*", choices=WORKLOAD_NAMES)
+    add_parallel_flags(p)
     p.set_defaults(func=cmd_bench)
 
-    p = sub.add_parser("experiment", help="regenerate one table/figure")
-    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p = sub.add_parser("experiment", help="regenerate tables/figures")
+    p.add_argument("ids", nargs="+", choices=sorted(EXPERIMENTS),
+                   metavar="ID")
     p.add_argument("--scale", default="test", choices=("test", "ref"))
+    add_parallel_flags(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("cache", help="inspect or clear the run-result cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
     p.add_argument("name", choices=sorted(ATTACKS))

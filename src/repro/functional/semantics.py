@@ -19,6 +19,57 @@ _SHIFT_MASK = 63
 _INT_MIN = -(1 << 63)
 
 
+def _div(a: int, b: int, imm: int, pc: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return to_unsigned(-1)
+    if sa == _INT_MIN and sb == -1:
+        return to_unsigned(_INT_MIN)
+    return to_unsigned(int(sa / sb))  # C-style truncation toward zero
+
+
+def _rem(a: int, b: int, imm: int, pc: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return to_unsigned(sa)
+    if sa == _INT_MIN and sb == -1:
+        return 0
+    return to_unsigned(sa - int(sa / sb) * sb)
+
+
+# Dispatch table instead of a ~25-arm if-chain: alu_result runs once per
+# executed ALU instruction, and the average chain depth was costing more
+# than the operation itself.  Semantics are unchanged.
+_ALU_OPS: dict[Opcode, object] = {
+    Opcode.ADD: lambda a, b, imm, pc: to_unsigned(a + b),
+    Opcode.SUB: lambda a, b, imm, pc: to_unsigned(a - b),
+    Opcode.AND: lambda a, b, imm, pc: a & b,
+    Opcode.OR: lambda a, b, imm, pc: a | b,
+    Opcode.XOR: lambda a, b, imm, pc: a ^ b,
+    Opcode.SLL: lambda a, b, imm, pc: to_unsigned(a << (b & _SHIFT_MASK)),
+    Opcode.SRL: lambda a, b, imm, pc: a >> (b & _SHIFT_MASK),
+    Opcode.SRA: lambda a, b, imm, pc: to_unsigned(to_signed(a) >> (b & _SHIFT_MASK)),
+    Opcode.SLT: lambda a, b, imm, pc: 1 if to_signed(a) < to_signed(b) else 0,
+    Opcode.SLTU: lambda a, b, imm, pc: 1 if a < b else 0,
+    Opcode.MUL: lambda a, b, imm, pc: to_unsigned(a * b),
+    Opcode.MULH: lambda a, b, imm, pc: to_unsigned((to_signed(a) * to_signed(b)) >> 64),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.ADDI: lambda a, b, imm, pc: to_unsigned(a + imm),
+    Opcode.ANDI: lambda a, b, imm, pc: a & to_unsigned(imm),
+    Opcode.ORI: lambda a, b, imm, pc: a | to_unsigned(imm),
+    Opcode.XORI: lambda a, b, imm, pc: a ^ to_unsigned(imm),
+    Opcode.SLLI: lambda a, b, imm, pc: to_unsigned(a << (imm & _SHIFT_MASK)),
+    Opcode.SRLI: lambda a, b, imm, pc: a >> (imm & _SHIFT_MASK),
+    Opcode.SRAI: lambda a, b, imm, pc: to_unsigned(to_signed(a) >> (imm & _SHIFT_MASK)),
+    Opcode.SLTI: lambda a, b, imm, pc: 1 if to_signed(a) < imm else 0,
+    Opcode.LI: lambda a, b, imm, pc: to_unsigned(imm),
+    Opcode.NOP: lambda a, b, imm, pc: 0,
+    Opcode.JAL: lambda a, b, imm, pc: to_unsigned(pc + 4),
+    Opcode.JALR: lambda a, b, imm, pc: to_unsigned(pc + 4),
+}
+
+
 def alu_result(opcode: Opcode, a: int, b: int, imm: int, pc: int) -> int:
     """Compute the register result of a non-memory, non-branch opcode.
 
@@ -26,85 +77,28 @@ def alu_result(opcode: Opcode, a: int, b: int, imm: int, pc: int) -> int:
     immediate; ``pc`` the instruction's own address (needed for link
     registers).
     """
-    if opcode is Opcode.ADD:
-        return to_unsigned(a + b)
-    if opcode is Opcode.SUB:
-        return to_unsigned(a - b)
-    if opcode is Opcode.AND:
-        return a & b
-    if opcode is Opcode.OR:
-        return a | b
-    if opcode is Opcode.XOR:
-        return a ^ b
-    if opcode is Opcode.SLL:
-        return to_unsigned(a << (b & _SHIFT_MASK))
-    if opcode is Opcode.SRL:
-        return a >> (b & _SHIFT_MASK)
-    if opcode is Opcode.SRA:
-        return to_unsigned(to_signed(a) >> (b & _SHIFT_MASK))
-    if opcode is Opcode.SLT:
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if opcode is Opcode.SLTU:
-        return 1 if a < b else 0
-    if opcode is Opcode.MUL:
-        return to_unsigned(a * b)
-    if opcode is Opcode.MULH:
-        return to_unsigned((to_signed(a) * to_signed(b)) >> 64)
-    if opcode is Opcode.DIV:
-        sa, sb = to_signed(a), to_signed(b)
-        if sb == 0:
-            return to_unsigned(-1)
-        if sa == _INT_MIN and sb == -1:
-            return to_unsigned(_INT_MIN)
-        return to_unsigned(int(sa / sb))  # C-style truncation toward zero
-    if opcode is Opcode.REM:
-        sa, sb = to_signed(a), to_signed(b)
-        if sb == 0:
-            return to_unsigned(sa)
-        if sa == _INT_MIN and sb == -1:
-            return 0
-        return to_unsigned(sa - int(sa / sb) * sb)
+    op = _ALU_OPS.get(opcode)
+    if op is None:
+        raise SimulationError(f"alu_result called with {opcode.mnemonic}")
+    return op(a, b, imm, pc)
 
-    if opcode is Opcode.ADDI:
-        return to_unsigned(a + imm)
-    if opcode is Opcode.ANDI:
-        return a & to_unsigned(imm)
-    if opcode is Opcode.ORI:
-        return a | to_unsigned(imm)
-    if opcode is Opcode.XORI:
-        return a ^ to_unsigned(imm)
-    if opcode is Opcode.SLLI:
-        return to_unsigned(a << (imm & _SHIFT_MASK))
-    if opcode is Opcode.SRLI:
-        return a >> (imm & _SHIFT_MASK)
-    if opcode is Opcode.SRAI:
-        return to_unsigned(to_signed(a) >> (imm & _SHIFT_MASK))
-    if opcode is Opcode.SLTI:
-        return 1 if to_signed(a) < imm else 0
-    if opcode is Opcode.LI:
-        return to_unsigned(imm)
-    if opcode is Opcode.NOP:
-        return 0
-    if opcode in (Opcode.JAL, Opcode.JALR):
-        return to_unsigned(pc + 4)
-    raise SimulationError(f"alu_result called with {opcode.mnemonic}")
+
+_BRANCH_OPS: dict[Opcode, object] = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Opcode.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    Opcode.BLTU: lambda a, b: a < b,
+    Opcode.BGEU: lambda a, b: a >= b,
+}
 
 
 def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
     """Evaluate a conditional branch's predicate."""
-    if opcode is Opcode.BEQ:
-        return a == b
-    if opcode is Opcode.BNE:
-        return a != b
-    if opcode is Opcode.BLT:
-        return to_signed(a) < to_signed(b)
-    if opcode is Opcode.BGE:
-        return to_signed(a) >= to_signed(b)
-    if opcode is Opcode.BLTU:
-        return a < b
-    if opcode is Opcode.BGEU:
-        return a >= b
-    raise SimulationError(f"branch_taken called with {opcode.mnemonic}")
+    op = _BRANCH_OPS.get(opcode)
+    if op is None:
+        raise SimulationError(f"branch_taken called with {opcode.mnemonic}")
+    return op(a, b)
 
 
 def effective_address(base: int, imm: int) -> int:

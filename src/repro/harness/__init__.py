@@ -1,6 +1,14 @@
 """Experiment harness: runners, sweeps, table formatting, experiments."""
 
+from .cache import ResultCache, config_fingerprint, run_key, workload_fingerprint
 from .experiments import EXPERIMENTS, ExperimentResult
+from .parallel import (
+    GridPoint,
+    ParallelRunner,
+    default_jobs,
+    plan_experiment_grid,
+    run_experiments,
+)
 from .report import collect_artifacts, render_record, update_experiments_md
 from .runner import ExperimentRunner, RunRecord, geomean
 from .tables import format_percent, format_series, format_table
@@ -9,12 +17,21 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "ExperimentRunner",
+    "GridPoint",
+    "ParallelRunner",
+    "ResultCache",
     "RunRecord",
     "collect_artifacts",
+    "config_fingerprint",
+    "default_jobs",
     "format_percent",
     "format_series",
     "format_table",
     "geomean",
+    "plan_experiment_grid",
     "render_record",
+    "run_experiments",
+    "run_key",
     "update_experiments_md",
+    "workload_fingerprint",
 ]

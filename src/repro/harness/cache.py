@@ -1,0 +1,217 @@
+"""Persistent, content-addressed store for simulation results.
+
+Every run of the cycle-level simulator is a pure function of
+
+* the workload (assembly source + self-check expectations + scale),
+* the policy name,
+* the :class:`~repro.uarch.config.CoreConfig` field values, and
+* the simulator revision (bumped whenever timing semantics change),
+
+so results can be keyed by a fingerprint of those inputs and reused across
+processes and invocations: regenerating one figure after editing another, or
+re-running the benchmark suite, pays only for points that actually changed.
+Keys are content hashes — never ``id()``s, which the allocator reuses — so
+two equal configs constructed independently share one cache entry.
+
+Cached records are *slim*: the heavyweight :class:`SimResult` payload
+(backing memory, cache hierarchy objects, committed-PC trace) is dropped and
+only the measured counters (:class:`~repro.uarch.stats.CoreStats` plus the
+memory-system counter dict) are stored, which is what every experiment
+consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..uarch import CoreConfig
+from ..uarch.stats import CoreStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workloads import Workload
+    from .runner import RunRecord
+
+#: Bump when a change alters simulated timing (cycle counts) or the record
+#: schema: old cache entries become unreachable (different keys) rather than
+#: silently wrong.
+SIM_REVISION = 1
+
+
+def version_salt() -> str:
+    """Salt mixed into every run key (package version + sim revision).
+
+    Resolved lazily: ``repro/__init__`` defines ``__version__`` after it
+    imports the harness, so a module-level import would be circular.
+    """
+    from .. import __version__
+
+    return f"{__version__}/sim{SIM_REVISION}"
+
+
+def _stable_hash(payload: object) -> str:
+    """SHA-256 over a canonical JSON rendering of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def config_fingerprint(config: CoreConfig) -> str:
+    """Fingerprint of a config's *field values* (nested dataclasses included).
+
+    Equal configs — however and whenever constructed — produce equal
+    fingerprints; this is the replacement for the old ``id(cfg)`` keying,
+    which both missed equal configs and could collide after garbage
+    collection reused an address.
+    """
+    return _stable_hash(dataclasses.asdict(config))
+
+
+def workload_fingerprint(workload: "Workload", scale: str) -> str:
+    """Fingerprint of a workload's program bytes and metadata."""
+    return _stable_hash(
+        {
+            "name": workload.name,
+            "scale": scale,
+            "source": workload.source,
+            "check_reg": workload.check_reg,
+            "check_value": workload.check_value,
+        }
+    )
+
+
+def run_key(
+    workload_fp: str,
+    policy_name: str,
+    config_fp: str,
+    use_compiler_info: bool = True,
+    salt: str | None = None,
+) -> str:
+    """Content key of one (workload, policy, config) simulation."""
+    return _stable_hash(
+        {
+            "workload": workload_fp,
+            "policy": policy_name,
+            "config": config_fp,
+            "compiler_info": use_compiler_info,
+            "salt": salt if salt is not None else version_salt(),
+        }
+    )
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-levioso/runs``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-levioso" / "runs"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/byte counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """On-disk content-addressed store of slim :class:`RunRecord` objects."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------- serialization
+    @staticmethod
+    def serialize(record: "RunRecord") -> dict:
+        slim = record.slim()
+        payload = {
+            f.name: getattr(slim, f.name)
+            for f in dataclasses.fields(slim)
+            if f.name not in ("result", "core_stats")
+        }
+        payload["core_stats"] = (
+            dataclasses.asdict(slim.core_stats)
+            if slim.core_stats is not None
+            else None
+        )
+        return payload
+
+    @staticmethod
+    def deserialize(payload: dict) -> "RunRecord":
+        from .runner import RunRecord
+
+        data = dict(payload)
+        core_stats = data.pop("core_stats", None)
+        data["core_stats"] = (
+            CoreStats(**core_stats) if core_stats is not None else None
+        )
+        return RunRecord(**data)
+
+    # ------------------------------------------------------------------ store
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "RunRecord | None":
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return None
+        try:
+            record = self.deserialize(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            # Corrupt or stale-schema entry: treat as a miss and drop it.
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        return record
+
+    def put(self, key: str, record: "RunRecord") -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.serialize(record))
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)  # atomic vs concurrent readers/writers
+        self.stats.stores += 1
+        self.stats.bytes_written += len(text)
+
+    # ------------------------------------------------------------- maintenance
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def info(self) -> dict:
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(p.stat().st_size for p in entries),
+            "version_salt": version_salt(),
+            "session": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

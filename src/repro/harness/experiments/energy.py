@@ -29,14 +29,16 @@ def run(
     edp_ovh: dict[str, list[float]] = {p: [] for p in policies}
 
     def measure(record, tracks_dependencies: bool):
-        result = record.result
+        # Use the slim counter fields so cached/parallel records (which
+        # carry no SimResult) work too.
+        stats = record.core_stats
         breakdown = estimate_energy(
-            result.stats,
-            result.hierarchy,
-            gate_checks=result.stats.loads_gated + result.stats.branches_gated,
+            stats,
+            record.mem_stats,
+            gate_checks=stats.loads_gated + stats.branches_gated,
             tracks_dependencies=tracks_dependencies,
         )
-        return breakdown, energy_delay_product(breakdown, result.stats.cycles)
+        return breakdown, energy_delay_product(breakdown, stats.cycles)
 
     for name in workloads:
         base_record = runner.run(name, "none")

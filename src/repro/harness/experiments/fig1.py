@@ -29,7 +29,7 @@ def run(
     true_all: list[float] = []
     for name in workloads:
         record = runner.run(name, "none")
-        stats = record.result.stats
+        stats = record.core_stats  # survives cache hits (result may be None)
         issued = max(stats.loads_issued, 1)
         conservative = stats.loads_speculative_at_issue / issued
         true_dep = stats.loads_true_dep_at_issue / issued

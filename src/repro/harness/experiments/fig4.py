@@ -7,6 +7,8 @@ structure the paper's sensitivity study shows.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ...uarch import CoreConfig
 from ..runner import ExperimentRunner, geomean
 from .base import ExperimentResult
@@ -17,19 +19,24 @@ ROB_SIZES = (64, 128, 192, 256)
 # scale would take tens of minutes); these four cover the category space.
 WORKLOAD_SUBSET = ("gather", "pchase", "branchy", "treewalk")
 
+RunnerFactory = Callable[[CoreConfig], ExperimentRunner]
+
 
 def run(
     scale: str = "ref",
     rob_sizes: tuple[int, ...] = ROB_SIZES,
     policies: tuple[str, ...] = POLICIES,
     workloads: tuple[str, ...] = WORKLOAD_SUBSET,
+    runner_factory: RunnerFactory | None = None,
 ) -> ExperimentResult:
+    if runner_factory is None:
+        runner_factory = lambda config: ExperimentRunner(scale=scale, config=config)  # noqa: E731
     rows = []
     series: dict[str, list[tuple[int, float]]] = {p: [] for p in policies}
     for rob in rob_sizes:
         config = CoreConfig(rob_size=rob, iq_size=min(64, rob), lq_size=min(48, rob),
                             sq_size=min(48, rob))
-        runner = ExperimentRunner(scale=scale, config=config)
+        runner = runner_factory(config)
         row = [rob]
         for policy in policies:
             overheads = [runner.overhead(w, policy) for w in workloads]
@@ -55,6 +62,7 @@ def run_branch_latency(
     latencies: tuple[int, ...] = BRANCH_LATENCIES,
     policies: tuple[str, ...] = POLICIES,
     workloads: tuple[str, ...] = WORKLOAD_SUBSET,
+    runner_factory: RunnerFactory | None = None,
 ) -> ExperimentResult:
     """Fig. 4b: sensitivity to branch-resolution latency.
 
@@ -62,11 +70,13 @@ def run_branch_latency(
     deeper resolution pipelines widen the gap between the conservative
     baselines and Levioso.
     """
+    if runner_factory is None:
+        runner_factory = lambda config: ExperimentRunner(scale=scale, config=config)  # noqa: E731
     rows = []
     series: dict[str, list[tuple[int, float]]] = {p: [] for p in policies}
     for latency in latencies:
         config = CoreConfig(branch_latency=latency)
-        runner = ExperimentRunner(scale=scale, config=config)
+        runner = runner_factory(config)
         row = [latency]
         for policy in policies:
             overheads = [runner.overhead(w, policy) for w in workloads]

@@ -1,0 +1,256 @@
+"""Parallel experiment execution over a deduplicated run grid.
+
+Experiments are embarrassingly parallel at the granularity of one
+(workload, policy, config) simulation, and the figures share many points
+(every figure's baseline is the unprotected run of the same workloads).
+This module
+
+1. *plans* the union grid for a set of experiment ids,
+2. *dedupes* it by content key (:mod:`repro.harness.cache`), and
+3. *fans out* the remaining simulations over a
+   :class:`concurrent.futures.ProcessPoolExecutor`,
+
+after which the experiment modules run unchanged against a warm in-memory
+store — every ``runner.run(...)`` they issue is a hit.  Workers return slim
+:class:`RunRecord` objects (counters only, no :class:`SimResult` payload),
+and each worker self-checks its run's architectural result, so parallel
+execution is bit-identical to serial execution by construction; the test
+suite additionally asserts equal cycle counts for serial vs ``jobs=2``.
+
+The worker count comes from ``--jobs N`` on the CLI or the ``REPRO_JOBS``
+environment variable (used by the benchmark suite under pytest);
+``jobs=1`` (the default) never forks and behaves exactly like the serial
+runner.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..uarch import CoreConfig
+from .cache import ResultCache
+from .runner import ExperimentRunner, RunRecord
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` if set and positive, else 1 (serial)."""
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        return 1
+    return max(jobs, 1)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One simulation in an experiment grid (picklable)."""
+
+    workload: str
+    policy: str
+    use_compiler_info: bool = True
+    config: CoreConfig | None = None  # None -> the runner's default config
+
+
+def _simulate_point(args: tuple[str, GridPoint, CoreConfig]) -> RunRecord:
+    """Top-level worker (must be picklable for ProcessPoolExecutor)."""
+    scale, point, default_config = args
+    runner = ExperimentRunner(scale=scale, config=point.config or default_config)
+    record = runner.run(
+        point.workload,
+        point.policy,
+        use_compiler_info=point.use_compiler_info,
+    )
+    return record.slim()
+
+
+class ParallelRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that can prefetch a grid in parallel.
+
+    ``run()`` itself stays serial (experiments interleave runs with
+    arithmetic); parallelism comes from :meth:`prefetch`, which fills the
+    in-memory store so subsequent ``run()`` calls are hits.  Pass a shared
+    ``store`` dict to pool results across runners with different default
+    configs (keys are content fingerprints, so this is always safe).
+    """
+
+    def __init__(self, scale: str = "ref", config: CoreConfig | None = None,
+                 verbose: bool = False, cache: ResultCache | None = None,
+                 store: dict[str, RunRecord] | None = None, jobs: int | None = None):
+        super().__init__(scale=scale, config=config, verbose=verbose,
+                         cache=cache, store=store)
+        self.jobs = jobs if jobs is not None else default_jobs()
+
+    def prefetch(self, points: Iterable[GridPoint]) -> int:
+        """Simulate every not-yet-cached point; returns how many ran.
+
+        Points already in the in-memory store or the persistent cache are
+        skipped; duplicates within ``points`` collapse to one simulation.
+        """
+        todo: list[tuple[str, GridPoint]] = []
+        seen: set[str] = set()
+        for point in points:
+            cfg = point.config or self.config
+            key = self.run_key_for(point.workload, point.policy, cfg,
+                                   point.use_compiler_info)
+            if key in seen or key in self._cache:
+                continue
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._cache[key] = record
+                    continue
+            seen.add(key)
+            todo.append((key, point))
+        if not todo:
+            return 0
+
+        if self.jobs <= 1 or len(todo) == 1:
+            for key, point in todo:
+                self.run(point.workload, point.policy, config=point.config,
+                         use_compiler_info=point.use_compiler_info)
+            return len(todo)
+
+        work = [(self.scale, point, self.config) for _, point in todo]
+        workers = min(self.jobs, len(work))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for (key, _), record in zip(todo, pool.map(_simulate_point, work)):
+                self.simulations += 1
+                self._cache[key] = record
+                if self.cache is not None:
+                    self.cache.put(key, record)
+        return len(todo)
+
+
+# --------------------------------------------------------------------- grids
+def _grid_fig1(runner: ExperimentRunner) -> list[GridPoint]:
+    from ..workloads import WORKLOAD_NAMES
+
+    return [GridPoint(w, "none") for w in WORKLOAD_NAMES]
+
+
+def _grid_overheads(workloads: Sequence[str],
+                    policies: Sequence[str]) -> list[GridPoint]:
+    points = [GridPoint(w, "none") for w in workloads]
+    points += [GridPoint(w, p) for w in workloads for p in policies]
+    return points
+
+
+def _grid_fig2(runner: ExperimentRunner) -> list[GridPoint]:
+    from ..workloads import WORKLOAD_NAMES
+    from .experiments import fig2
+
+    return _grid_overheads(WORKLOAD_NAMES, fig2.POLICIES)
+
+
+def _grid_fig3(runner: ExperimentRunner) -> list[GridPoint]:
+    from ..workloads import WORKLOAD_NAMES
+    from .experiments import fig3
+
+    return _grid_overheads(WORKLOAD_NAMES, fig3.POLICIES)
+
+
+def _grid_fig4(runner: ExperimentRunner) -> list[GridPoint]:
+    from .experiments import fig4
+
+    points: list[GridPoint] = []
+    for rob in fig4.ROB_SIZES:
+        config = CoreConfig(rob_size=rob, iq_size=min(64, rob),
+                            lq_size=min(48, rob), sq_size=min(48, rob))
+        points += [
+            GridPoint(w, p, config=config)
+            for w in fig4.WORKLOAD_SUBSET
+            for p in ("none", *fig4.POLICIES)
+        ]
+    return points
+
+
+def _grid_ablation_a(runner: ExperimentRunner) -> list[GridPoint]:
+    from .experiments import ablation_compiler as mod
+
+    points = _grid_overheads(mod.WORKLOAD_SUBSET, ("levioso", "ctt"))
+    points += [
+        GridPoint(w, "levioso", use_compiler_info=False)
+        for w in mod.WORKLOAD_SUBSET
+    ]
+    return points
+
+
+def _grid_ablation_b(runner: ExperimentRunner) -> list[GridPoint]:
+    from ..workloads import WORKLOAD_NAMES
+    from .experiments import ablation_scope as mod
+
+    return _grid_overheads(WORKLOAD_NAMES, mod.POLICIES)
+
+
+def _grid_energy(runner: ExperimentRunner) -> list[GridPoint]:
+    from .experiments import energy as mod
+
+    return _grid_overheads(mod.WORKLOAD_SUBSET, mod.POLICIES)
+
+
+#: Experiments whose core-simulation grid is known statically.  The rest
+#: (table1/table2/fig5/ablationC) drive the simulators directly and gain
+#: nothing from prefetching.
+GRID_PLANNERS: dict[str, Callable[[ExperimentRunner], list[GridPoint]]] = {
+    "fig1": _grid_fig1,
+    "fig2": _grid_fig2,
+    "fig3": _grid_fig3,
+    "fig4": _grid_fig4,
+    "ablationA": _grid_ablation_a,
+    "ablationB": _grid_ablation_b,
+    "energy": _grid_energy,
+}
+
+
+def plan_experiment_grid(experiment_ids: Iterable[str],
+                         runner: ExperimentRunner) -> list[GridPoint]:
+    """Union grid for a set of experiments (duplicates included; the
+    runner dedupes by content key when prefetching)."""
+    points: list[GridPoint] = []
+    for experiment_id in experiment_ids:
+        planner = GRID_PLANNERS.get(experiment_id)
+        if planner is not None:
+            points.extend(planner(runner))
+    return points
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    scale: str = "ref",
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    verbose: bool = False,
+):
+    """Run experiments with shared, parallel-prefetched simulations.
+
+    Returns ``{experiment_id: ExperimentResult}``.  All experiments share
+    one result store, so points common to several figures simulate once.
+    """
+    import inspect
+
+    from .experiments import EXPERIMENTS
+
+    store: dict[str, RunRecord] = {}
+    runner = ParallelRunner(scale=scale, jobs=jobs, cache=cache,
+                            verbose=verbose, store=store)
+    runner.prefetch(plan_experiment_grid(experiment_ids, runner))
+
+    results = {}
+    for experiment_id in experiment_ids:
+        module = EXPERIMENTS[experiment_id]
+        params = inspect.signature(module.run).parameters
+        kwargs = {}
+        if "scale" in params:
+            kwargs["scale"] = scale
+        if "runner" in params:
+            kwargs["runner"] = runner
+        elif "runner_factory" in params:
+            kwargs["runner_factory"] = lambda config: ParallelRunner(
+                scale=scale, config=config, jobs=jobs, cache=cache,
+                verbose=verbose, store=store,
+            )
+        results[experiment_id] = module.run(**kwargs)
+    return results

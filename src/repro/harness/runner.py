@@ -1,23 +1,41 @@
 """Experiment runner: (workload, policy, config) -> measured run records.
 
-The runner memoizes nothing across processes but deduplicates within one
-harness invocation, so a figure that reuses the baseline runs of another
-figure does not pay for them twice.
+Runs are memoized on a *content* key — fingerprints of the workload's
+program/metadata, the policy name, the config's field values and the
+simulator revision (see :mod:`repro.harness.cache`) — so a figure that
+reuses the baseline runs of another figure does not pay for them twice, and
+two equal configs constructed independently share one entry.  (Earlier
+revisions keyed on ``id(cfg)``, which both missed equal configs and could
+alias distinct ones after the allocator reused an address.)
+
+Optionally, a :class:`~repro.harness.cache.ResultCache` persists slim
+records across processes and invocations, and a shared ``store`` dict lets
+several runners (e.g. the per-config runners of a ROB sweep) pool their
+in-memory results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import SimulationError
 from ..secure import make_policy
 from ..uarch import CoreConfig, OooCore, SimResult
+from ..uarch.stats import CoreStats
 from ..workloads import Workload, build_suite
+from .cache import ResultCache, config_fingerprint, run_key, workload_fingerprint
 
 
 @dataclass
 class RunRecord:
-    """One measured simulation."""
+    """One measured simulation.
+
+    ``core_stats``/``mem_stats`` carry every counter the experiments
+    consume and survive caching and pickling; ``result`` additionally holds
+    the full :class:`SimResult` (registers, memory hierarchy objects) for
+    in-process callers, but is ``None`` on records that crossed a process
+    or cache boundary — call sites must not rely on it.
+    """
 
     workload: str
     policy: str
@@ -29,7 +47,9 @@ class RunRecord:
     mean_gate_delay: float
     gated_loads_pki: float
     mpki: float
-    result: SimResult = field(repr=False, default=None)
+    core_stats: CoreStats | None = field(repr=False, default=None)
+    mem_stats: dict | None = field(repr=False, default=None)
+    result: SimResult | None = field(repr=False, default=None)
 
     @classmethod
     def from_result(cls, workload: str, policy: str, result: SimResult) -> "RunRecord":
@@ -45,20 +65,38 @@ class RunRecord:
             mean_gate_delay=stats.mean_gate_delay,
             gated_loads_pki=stats.gated_loads_pki,
             mpki=stats.mpki,
+            core_stats=stats,
+            mem_stats=result.hierarchy.stats(),
             result=result,
         )
 
+    def slim(self) -> "RunRecord":
+        """Copy without the heavyweight ``result`` payload.
+
+        This is the form that enters the persistent cache and crosses
+        process boundaries; the counters every experiment reads
+        (``core_stats``/``mem_stats``) are retained.
+        """
+        if self.result is None:
+            return self
+        return replace(self, result=None)
+
 
 class ExperimentRunner:
-    """Runs workloads under policies/configs with per-invocation caching."""
+    """Runs workloads under policies/configs with content-keyed caching."""
 
     def __init__(self, scale: str = "ref", config: CoreConfig | None = None,
-                 verbose: bool = False):
+                 verbose: bool = False, cache: ResultCache | None = None,
+                 store: dict[str, RunRecord] | None = None):
         self.scale = scale
         self.config = config or CoreConfig()
         self.verbose = verbose
-        self._cache: dict[tuple, RunRecord] = {}
+        self.cache = cache
+        self.simulations = 0  # actual OooCore runs (cache hits excluded)
+        self._cache: dict[str, RunRecord] = store if store is not None else {}
         self._workloads: dict[str, Workload] = {}
+        self._workload_fps: dict[str, str] = {}
+        self._config_fps: dict[int, tuple[CoreConfig, str]] = {}
 
     def workload(self, name: str) -> Workload:
         if name not in self._workloads:
@@ -73,6 +111,29 @@ class ExperimentRunner:
             self._workloads[w.name] = w
         return workloads
 
+    def run_key_for(
+        self,
+        workload_name: str,
+        policy_name: str,
+        config: CoreConfig | None = None,
+        use_compiler_info: bool = True,
+    ) -> str:
+        """Content key of one run (stable across processes and sessions)."""
+        cfg = config or self.config
+        wfp = self._workload_fps.get(workload_name)
+        if wfp is None:
+            wfp = workload_fingerprint(self.workload(workload_name), self.scale)
+            self._workload_fps[workload_name] = wfp
+        # Memoize config fingerprints by identity, guarded by an equality
+        # check so a recycled id() can never alias a different config.
+        memo = self._config_fps.get(id(cfg))
+        if memo is not None and memo[0] == cfg:
+            cfp = memo[1]
+        else:
+            cfp = config_fingerprint(cfg)
+            self._config_fps[id(cfg)] = (cfg, cfp)
+        return run_key(wfp, policy_name, cfp, use_compiler_info)
+
     def run(
         self,
         workload_name: str,
@@ -82,10 +143,15 @@ class ExperimentRunner:
     ) -> RunRecord:
         """Run one (workload, policy) pair, self-checking the result."""
         cfg = config or self.config
-        key = (workload_name, policy_name, id(cfg) if config else None,
-               use_compiler_info)
-        if key in self._cache:
-            return self._cache[key]
+        key = self.run_key_for(workload_name, policy_name, cfg, use_compiler_info)
+        record = self._cache.get(key)
+        if record is not None:
+            return record
+        if self.cache is not None:
+            record = self.cache.get(key)
+            if record is not None:
+                self._cache[key] = record
+                return record
         workload = self.workload(workload_name)
         program = workload.assemble()
         core = OooCore(
@@ -95,6 +161,7 @@ class ExperimentRunner:
             use_compiler_info=use_compiler_info,
         )
         result = core.run()
+        self.simulations += 1
         if not workload.validate(result.regs):
             raise SimulationError(
                 f"{workload_name} under {policy_name}: self-check failed "
@@ -107,6 +174,8 @@ class ExperimentRunner:
                 f"{record.cycles:>9d} cycles  IPC {record.ipc:.2f}"
             )
         self._cache[key] = record
+        if self.cache is not None:
+            self.cache.put(key, record)
         return record
 
     def overhead(self, workload_name: str, policy_name: str, **kwargs) -> float:

@@ -61,6 +61,7 @@ class Instruction:
         set_attr(self, "is_halt", op is Opcode.HALT)
         set_attr(self, "is_indirect_jump", op is Opcode.JALR)
         set_attr(self, "mem_size", op.access_size if op.is_mem else None)
+        set_attr(self, "fallthrough", self.pc + INSTRUCTION_BYTES)
         dest = self.rd if (op.writes_rd and self.rd != ZERO_REG) else None
         set_attr(self, "_dest", dest)
         sources = []
@@ -76,11 +77,6 @@ class Instruction:
         if not (self.is_branch or self.opcode is Opcode.JAL):
             raise IsaError(f"{self.opcode.mnemonic} has no static branch target")
         return self.imm
-
-    @property
-    def fallthrough(self) -> int:
-        """Address of the next sequential instruction."""
-        return self.pc + INSTRUCTION_BYTES
 
     def dest_reg(self) -> int | None:
         """Architectural destination register, or None (x0 writes discarded)."""

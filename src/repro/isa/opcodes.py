@@ -134,59 +134,23 @@ class Opcode(enum.Enum):
     RDCYCLE = OpcodeInfo("rdcycle", FuncClass.SYSTEM, OperandFormat.LI, True, False, False, 64)
 
     # ------------------------------------------------------------------ helpers
-    @property
-    def mnemonic(self) -> str:
-        return self.value.mnemonic
-
-    @property
-    def func_class(self) -> FuncClass:
-        return self.value.func_class
-
-    @property
-    def fmt(self) -> OperandFormat:
-        return self.value.fmt
-
-    @property
-    def code(self) -> int:
-        return self.value.code
-
-    @property
-    def writes_rd(self) -> bool:
-        return self.value.writes_rd
-
-    @property
-    def reads_rs1(self) -> bool:
-        return self.value.reads_rs1
-
-    @property
-    def reads_rs2(self) -> bool:
-        return self.value.reads_rs2
-
-    @property
-    def is_load(self) -> bool:
-        return self.func_class is FuncClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.func_class is FuncClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        """Conditional branch only (not jumps)."""
-        return self.func_class is FuncClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.func_class is FuncClass.JUMP
-
-    @property
-    def is_control(self) -> bool:
-        """Any instruction that can redirect the PC."""
-        return self.is_branch or self.is_jump or self is Opcode.HALT
+    # mnemonic/func_class/fmt/code/writes_rd/reads_rs1/reads_rs2 and the
+    # is_* classification flags are materialized as plain member attributes
+    # below (after the class body): the simulators query them millions of
+    # times per run, and a stored attribute beats a property chain ~5x.
+    mnemonic: str
+    func_class: FuncClass
+    fmt: OperandFormat
+    code: int
+    writes_rd: bool
+    reads_rs1: bool
+    reads_rs2: bool
+    is_load: bool
+    is_store: bool
+    is_mem: bool
+    is_branch: bool
+    is_jump: bool
+    is_control: bool
 
     @property
     def access_size(self) -> int:
@@ -204,6 +168,23 @@ _ACCESS_SIZES: dict[Opcode, int] = {
     Opcode.LD: 8, Opcode.SD: 8,
     Opcode.CFLUSH: 1,
 }
+
+for _op in Opcode:
+    _info = _op.value
+    _op.mnemonic = _info.mnemonic
+    _op.func_class = _info.func_class
+    _op.fmt = _info.fmt
+    _op.code = _info.code
+    _op.writes_rd = _info.writes_rd
+    _op.reads_rs1 = _info.reads_rs1
+    _op.reads_rs2 = _info.reads_rs2
+    _op.is_load = _info.func_class is FuncClass.LOAD
+    _op.is_store = _info.func_class is FuncClass.STORE
+    _op.is_mem = _op.is_load or _op.is_store
+    _op.is_branch = _info.func_class is FuncClass.BRANCH
+    _op.is_jump = _info.func_class is FuncClass.JUMP
+    _op.is_control = _op.is_branch or _op.is_jump or _op is Opcode.HALT
+del _op, _info
 
 MNEMONIC_TO_OPCODE: dict[str, Opcode] = {op.mnemonic: op for op in Opcode}
 """Lookup used by the assembler."""

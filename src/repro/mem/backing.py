@@ -31,12 +31,24 @@ class SparseMemory:
     # ------------------------------------------------------------- block ops
     def load_image(self, base: int, image: bytes) -> None:
         """Copy an initial image (e.g. the program's data segment) in."""
-        for i, byte in enumerate(image):
-            self._page(base + i)[(base + i) & PAGE_MASK] = byte
+        offset = 0
+        total = len(image)
+        while offset < total:
+            address = base + offset
+            start = address & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, total - offset)
+            self._page(address)[start:start + chunk] = image[offset:offset + chunk]
+            offset += chunk
 
     def read_bytes(self, address: int, size: int) -> bytes:
         if address < 0:
             raise MemoryFault(address, "negative address")
+        start = address & PAGE_MASK
+        if start + size <= PAGE_SIZE:  # fast path: within one page
+            page = self._pages.get(address >> PAGE_BITS)
+            if page is None:
+                return bytes(size)
+            return bytes(page[start:start + size])
         out = bytearray(size)
         for i in range(size):
             a = address + i
@@ -47,6 +59,11 @@ class SparseMemory:
     def write_bytes(self, address: int, data: bytes) -> None:
         if address < 0:
             raise MemoryFault(address, "negative address")
+        size = len(data)
+        start = address & PAGE_MASK
+        if start + size <= PAGE_SIZE:  # fast path: within one page
+            self._page(address)[start:start + size] = data
+            return
         for i, byte in enumerate(data):
             a = address + i
             self._page(a)[a & PAGE_MASK] = byte

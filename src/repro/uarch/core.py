@@ -19,6 +19,7 @@ wake a consumer that issues at C (1-cycle back-to-back bypass).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..asm.program import STACK_TOP, Program
@@ -36,6 +37,8 @@ from .dyninst import Checkpoint, DynInst, Stage
 from .stats import CoreStats
 
 _WATCHDOG_CYCLES = 100_000  # no-commit window before declaring deadlock
+
+EMPTY_DEPS: frozenset[int] = frozenset()
 
 
 @dataclass
@@ -106,18 +109,22 @@ class OooCore:
         self.predictor = make_predictor(self.config.predictor)
         self.btb = BranchTargetBuffer(self.config.btb_entries)
         self.ras = ReturnAddressStack(self.config.ras_depth)
-        self.fetch_queue: list[DynInst] = []
+        self.fetch_queue: deque[DynInst] = deque()
         self.fetch_stalled_on: DynInst | None = None  # unpredicted jalr
         self.fetch_wild = False                        # ran off the text segment
         self.halt_fetched = False
         self.active_regions: list[list] = []  # [branch_seq, reconv_pc, active]
+        # Cached frozenset of live region seqs; None = recompute.  Region
+        # entries are immutable once created (only the list membership
+        # changes), so the cache is invalidated exactly where the list is.
+        self._live_deps: frozenset[int] | None = EMPTY_DEPS
         self._fetch_resume_cycle = 0          # L1I miss stall
         self._last_fetch_line: int | None = None
 
         # Back end
         self.rename_map: list[DynInst | None] = [None] * NUM_REGS
-        self.rob: list[DynInst] = []
-        self.store_queue: list[DynInst] = []
+        self.rob: deque[DynInst] = deque()
+        self.store_queue: deque[DynInst] = deque()
         self.iq_count = 0
         self.lq_count = 0
         self.sq_count = 0
@@ -144,9 +151,26 @@ class OooCore:
         # happened (completion, commit, squash, a cache fill) — gate
         # predicates are pure functions of that state, so skipping quiet
         # cycles is safe and makes long stalls cheap to simulate.
+        # Opcode -> (port, latency), resolved once per core instead of per
+        # issued instruction.
+        cfg = self.config
+        self._fu_map: dict[Opcode, tuple[str, int]] = {}
+        for op in Opcode:
+            if op in (Opcode.MUL, Opcode.MULH):
+                self._fu_map[op] = ("mul", cfg.mul_latency)
+            elif op in (Opcode.DIV, Opcode.REM):
+                self._fu_map[op] = ("div", cfg.div_latency)
+            elif op.is_branch or op is Opcode.JALR:
+                self._fu_map[op] = ("alu", cfg.branch_latency)
+            else:
+                self._fu_map[op] = ("alu", cfg.alu_latency)
+
         self._retry_event = True
-        self._min_unresolved: int | None = None
-        self._unresolved_dirty = False
+        # Min-heap over unresolved branch seqs with lazy deletion: resolved/
+        # squashed seqs stay in the heap until they surface at the top, so
+        # the oldest-unresolved query is O(log n) amortized instead of a
+        # full scan of the unresolved set.
+        self._unresolved_heap: list[int] = []
 
     # ------------------------------------------------------------------ API
     @property
@@ -193,13 +217,13 @@ class OooCore:
     # ----------------------------------------------------- policy interface
     def has_unresolved_ctrl_older_than(self, seq: int) -> bool:
         """Any in-flight unresolved branch/indirect-jump older than ``seq``?"""
-        if self._unresolved_dirty:
-            self._min_unresolved = (
-                min(self.unresolved_ctrl) if self.unresolved_ctrl else None
-            )
-            self._unresolved_dirty = False
-        oldest = self._min_unresolved
-        return oldest is not None and oldest < seq
+        unresolved = self.unresolved_ctrl
+        if not unresolved:
+            return False
+        heap = self._unresolved_heap
+        while heap[0] not in unresolved:  # lazy-delete resolved/squashed seqs
+            heapq.heappop(heap)
+        return heap[0] < seq
 
     def any_unresolved(self, deps: frozenset[int]) -> bool:
         """Is any of these branch seqs still unresolved?"""
@@ -209,8 +233,14 @@ class OooCore:
         if not unresolved:
             return False
         if len(deps) < len(unresolved):
-            return any(d in unresolved for d in deps)
-        return any(u in deps for u in unresolved)
+            for d in deps:
+                if d in unresolved:
+                    return True
+            return False
+        for u in unresolved:
+            if u in deps:
+                return True
+        return False
 
     def is_load_root_unsafe(self, root_seq: int) -> bool:
         """STT visibility: root load still in flight and still speculative."""
@@ -228,15 +258,20 @@ class OooCore:
         ):
             self.stats.fetch_stall_cycles += 1
             return
+        fetch_queue = self.fetch_queue
+        try_inst_at = self.program.try_inst_at
+        line_bits = self.hierarchy.l1i.line_bits
+        fq_cap = self.config.fetch_queue_size
         budget = self.config.fetch_width
-        while budget > 0 and len(self.fetch_queue) < self.config.fetch_queue_size:
-            inst = self.program.try_inst_at(self.fetch_pc)
+        while budget > 0 and len(fetch_queue) < fq_cap:
+            fetch_pc = self.fetch_pc
+            inst = try_inst_at(fetch_pc)
             if inst is None:
                 self.fetch_wild = True  # wrong path off the text segment
                 return
-            line = self.fetch_pc >> self.hierarchy.l1i.line_bits
+            line = fetch_pc >> line_bits
             if line != self._last_fetch_line:
-                ready = self.hierarchy.fetch(self.fetch_pc, cycle)
+                ready = self.hierarchy.fetch(fetch_pc, cycle)
                 self._last_fetch_line = line
                 if ready > cycle:
                     # L1I miss: the packet ends; resume when the line fills.
@@ -250,16 +285,25 @@ class OooCore:
             # Reconvergence tracker: reaching a branch's reconvergence PC
             # ends its control region (a closed region can never reopen, so
             # it leaves the live list); then tag with the remaining ones.
-            if any(r[1] == inst.pc for r in self.active_regions):
-                self.active_regions = [
-                    r for r in self.active_regions if r[1] != inst.pc
-                ]
-            if self.active_regions:
-                dyn.control_deps = frozenset(
-                    r[0] for r in self.active_regions if r[2]
-                )
+            regions = self.active_regions
+            if regions:
+                pc = inst.pc
+                for r in regions:
+                    if r[1] == pc:
+                        self.active_regions = regions = [
+                            entry for entry in regions if entry[1] != pc
+                        ]
+                        self._live_deps = None
+                        break
+                if regions:
+                    deps = self._live_deps
+                    if deps is None:
+                        deps = self._live_deps = frozenset(
+                            r[0] for r in regions if r[2]
+                        )
+                    dyn.control_deps = deps
 
-            self.fetch_queue.append(dyn)
+            fetch_queue.append(dyn)
             opcode = inst.opcode
 
             if opcode.is_branch:
@@ -274,6 +318,7 @@ class OooCore:
                 self.active_regions.append(
                     [dyn.seq, self._reconv_of.get(inst.pc), True]
                 )
+                self._live_deps = None
                 self.fetch_pc = dyn.predicted_target
                 if taken:
                     return  # taken branches end the fetch packet
@@ -295,6 +340,7 @@ class OooCore:
                 dyn.predicted_target = predicted
                 dyn.checkpoint = self._front_checkpoint(dyn)
                 self.active_regions.append([dyn.seq, None, True])
+                self._live_deps = None
                 self.fetch_pc = predicted
                 return
 
@@ -312,37 +358,48 @@ class OooCore:
 
     def _front_checkpoint(self, dyn: DynInst) -> Checkpoint:
         """Front-end snapshot; the rename map is added at dispatch."""
+        # Region entries are never mutated in place, so a shallow copy of
+        # the outer list is enough for checkpoint isolation.
         return Checkpoint(
             rename_map=[],
             ras=self.ras.checkpoint(),
             history=self.predictor.history_checkpoint(),
-            regions=[list(r) for r in self.active_regions],
+            regions=list(self.active_regions),
             fetch_pc_after=dyn.inst.fallthrough,
         )
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self, cycle: int) -> None:
-        width = self.config.dispatch_width
-        while width > 0 and self.fetch_queue:
-            dyn = self.fetch_queue[0]
-            if dyn.fetch_cycle + self.config.frontend_latency > cycle:
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
+        cfg = self.config
+        stats = self.stats
+        rob = self.rob
+        frontend_latency = cfg.frontend_latency
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        width = cfg.dispatch_width
+        while width > 0 and fetch_queue:
+            dyn = fetch_queue[0]
+            if dyn.fetch_cycle + frontend_latency > cycle:
                 return
-            if len(self.rob) >= self.config.rob_size:
-                self.stats.rob_full_stalls += 1
+            if len(rob) >= rob_size:
+                stats.rob_full_stalls += 1
                 return
             opcode = dyn.opcode
             needs_iq = opcode is not Opcode.HALT
-            if needs_iq and self.iq_count >= self.config.iq_size:
-                self.stats.iq_full_stalls += 1
+            if needs_iq and self.iq_count >= iq_size:
+                stats.iq_full_stalls += 1
                 return
-            if opcode.is_load and self.lq_count >= self.config.lq_size:
-                self.stats.lsq_full_stalls += 1
+            if opcode.is_load and self.lq_count >= cfg.lq_size:
+                stats.lsq_full_stalls += 1
                 return
-            if opcode.is_store and self.sq_count >= self.config.sq_size:
-                self.stats.lsq_full_stalls += 1
+            if opcode.is_store and self.sq_count >= cfg.sq_size:
+                stats.lsq_full_stalls += 1
                 return
 
-            self.fetch_queue.pop(0)
+            fetch_queue.popleft()
             width -= 1
             dyn.stage = Stage.DISPATCHED
             dyn.dispatch_cycle = cycle
@@ -355,7 +412,7 @@ class OooCore:
                 dyn.opcode is Opcode.JALR and dyn.predicted_target is not None
             ):
                 self.unresolved_ctrl.add(dyn.seq)
-                self._unresolved_dirty = True
+                heapq.heappush(self._unresolved_heap, dyn.seq)
 
             if opcode is Opcode.HALT:
                 dyn.stage = Stage.COMPLETED
@@ -378,8 +435,9 @@ class OooCore:
     def _rename(self, dyn: DynInst) -> None:
         inst = dyn.inst
         opcode = inst.opcode
+        rename_map = self.rename_map
         if opcode.reads_rs1 and inst.rs1 != 0:
-            producer = self.rename_map[inst.rs1]
+            producer = rename_map[inst.rs1]
             if producer is not None:
                 dyn.src1_producer = producer
                 if not producer.propagated:
@@ -389,7 +447,7 @@ class OooCore:
                 dyn.src1_value = self.arf[inst.rs1]
                 dyn.src1_arf_tainted = self.arf_taint[inst.rs1]
         if opcode.reads_rs2 and inst.rs2 != 0:
-            producer = self.rename_map[inst.rs2]
+            producer = rename_map[inst.rs2]
             if producer is not None:
                 dyn.src2_producer = producer
                 if not producer.propagated:
@@ -398,9 +456,9 @@ class OooCore:
             else:
                 dyn.src2_value = self.arf[inst.rs2]
                 dyn.src2_arf_tainted = self.arf_taint[inst.rs2]
-        dest = inst.dest_reg()
+        dest = inst._dest
         if dest is not None:
-            self.rename_map[dest] = dyn
+            rename_map[dest] = dyn
 
     # ----------------------------------------------------------------- issue
     def _issue(self, cycle: int) -> None:
@@ -521,7 +579,7 @@ class OooCore:
                     self.pending_ctrl.append(dyn)
                     continue
 
-            port, latency = self._fu_of(opcode)
+            port, latency = self._fu_map[opcode]
             if ports[port] <= 0:
                 overflow.append((dyn.seq, dyn))
                 continue
@@ -542,14 +600,7 @@ class OooCore:
         self.policy.stats.branch_gate_cycles += 1
 
     def _fu_of(self, opcode: Opcode) -> tuple[str, int]:
-        cfg = self.config
-        if opcode in (Opcode.MUL, Opcode.MULH):
-            return "mul", cfg.mul_latency
-        if opcode in (Opcode.DIV, Opcode.REM):
-            return "div", cfg.div_latency
-        if opcode.is_branch or opcode is Opcode.JALR:
-            return "alu", cfg.branch_latency
-        return "alu", cfg.alu_latency
+        return self._fu_map[opcode]
 
     def _execute_alu(self, dyn: DynInst, cycle: int, latency: int) -> None:
         inst = dyn.inst
@@ -676,23 +727,31 @@ class OooCore:
         heapq.heappush(self.completions, (when, dyn.seq, dyn))
 
     def _process_completions(self, cycle: int) -> None:
-        while self.completions and self.completions[0][0] <= cycle:
-            _, _, dyn = heapq.heappop(self.completions)
+        completions = self.completions
+        if not completions or completions[0][0] > cycle:
+            return
+        heappop = heapq.heappop
+        unresolved = self.unresolved_ctrl
+        inflight_loads = self.inflight_loads
+        policy = self.policy
+        while completions and completions[0][0] <= cycle:
+            dyn = heappop(completions)[2]
             if dyn.squashed:
                 continue
             self._retry_event = True
             dyn.stage = Stage.COMPLETED
             dyn.complete_cycle = cycle
-            dyn.finalize_lineage(self.unresolved_ctrl, self.inflight_loads)
+            dyn.finalize_lineage(unresolved, inflight_loads)
+            inst = dyn.inst
             if (
-                dyn.inst.is_load
+                inst.is_load
                 and dyn.opcode is not Opcode.CFLUSH
-                and self.policy.defers_wakeup(dyn, self)
+                and policy.defers_wakeup(dyn, self)
             ):
                 self.deferred_values.append(dyn)  # NDA: value withheld
             else:
                 self._propagate(dyn)
-            if dyn.inst.is_branch or dyn.opcode is Opcode.JALR:
+            if inst.is_branch or dyn.opcode is Opcode.JALR:
                 self._resolve_control(dyn, cycle)
 
     def _propagate(self, dyn: DynInst) -> None:
@@ -709,7 +768,6 @@ class OooCore:
     # ---------------------------------------------------- control resolution
     def _resolve_control(self, dyn: DynInst, cycle: int) -> None:
         self.unresolved_ctrl.discard(dyn.seq)
-        self._unresolved_dirty = True
         # A resolved branch creates no control dependence: retire its
         # tracker region so younger fetches stop inheriting it (and the
         # region list stays bounded by the unresolved window).
@@ -717,6 +775,7 @@ class OooCore:
             self.active_regions = [
                 r for r in self.active_regions if r[0] != dyn.seq
             ]
+            self._live_deps = None
         inst = dyn.inst
         if inst.is_branch:
             self.stats.branch_resolutions += 1
@@ -740,29 +799,33 @@ class OooCore:
     def _squash_after(self, dyn: DynInst, cycle: int) -> None:
         """Squash everything younger than ``dyn`` and redirect fetch."""
         boundary = dyn.seq
-        survivors: list[DynInst] = []
-        for entry in self.rob:
-            if entry.seq <= boundary:
-                survivors.append(entry)
-                continue
+        # The ROB is seq-ordered, so the squashed suffix pops off the tail:
+        # O(#squashed) work, and the occupancy counters are maintained
+        # incrementally per squashed entry (they were consistent with the
+        # full window before the squash) instead of rescanning the survivors.
+        rob = self.rob
+        squashed_n = 0
+        while rob and rob[-1].seq > boundary:
+            entry = rob.pop()
             entry.squashed = True
+            stage = entry.stage
             entry.stage = Stage.SQUASHED
-            self.stats.squashed_insts += 1
-            self.inflight_loads.pop(entry.seq, None)
+            squashed_n += 1
+            opcode = entry.opcode
+            if stage is Stage.DISPATCHED and opcode is not Opcode.HALT:
+                self.iq_count -= 1
+            if opcode.is_load:
+                self.lq_count -= 1
+                self.inflight_loads.pop(entry.seq, None)
+            elif opcode.is_store:
+                self.sq_count -= 1
             self.unresolved_ctrl.discard(entry.seq)
             self.inflight_fences.discard(entry.seq)
-            self._unresolved_dirty = True
-        self.rob = survivors
+        self.stats.squashed_insts += squashed_n
 
-        # Rebuild occupancy counters from the surviving window.
-        self.iq_count = sum(
-            1
-            for e in self.rob
-            if e.stage is Stage.DISPATCHED and e.opcode is not Opcode.HALT
-        )
-        self.lq_count = sum(1 for e in self.rob if e.opcode.is_load)
-        self.sq_count = sum(1 for e in self.rob if e.opcode.is_store)
-        self.store_queue = [s for s in self.store_queue if s.seq <= boundary]
+        store_queue = self.store_queue
+        while store_queue and store_queue[-1].seq > boundary:
+            store_queue.pop()
         self.pending_loads = [p for p in self.pending_loads if p.seq <= boundary]
         self.pending_ctrl = [p for p in self.pending_ctrl if p.seq <= boundary]
         self.deferred_values = [d for d in self.deferred_values if d.seq <= boundary]
@@ -793,8 +856,9 @@ class OooCore:
         # that resolved after the checkpoint was taken were already retired
         # from the tracker and must not be resurrected.
         self.active_regions = [
-            list(r) for r in checkpoint.regions if r[0] in self.unresolved_ctrl
+            r for r in checkpoint.regions if r[0] in self.unresolved_ctrl
         ]
+        self._live_deps = None
 
         self.fetch_pc = dyn.actual_target
         self.fetch_wild = False
@@ -820,7 +884,7 @@ class OooCore:
                     ]
                 else:
                     return
-            self.rob.pop(0)
+            self.rob.popleft()
             width -= 1
             self._retry_event = True
             dyn.stage = Stage.COMMITTED
@@ -841,7 +905,10 @@ class OooCore:
                 size = opcode.access_size
                 self.memory.write_int(dyn.mem_address, dyn.store_data, size)
                 self.hierarchy.store(dyn.mem_address, cycle)
-                self.store_queue.remove(dyn)
+                if self.store_queue[0] is dyn:  # stores commit in order
+                    self.store_queue.popleft()
+                else:  # pragma: no cover - defensive
+                    self.store_queue.remove(dyn)
                 self.sq_count -= 1
                 self.stats.committed_stores += 1
             elif opcode.is_load:

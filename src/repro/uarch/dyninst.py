@@ -36,7 +36,7 @@ class Stage(enum.Enum):
     SQUASHED = "squashed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Checkpoint:
     """Front-end + rename state captured at a speculation source."""
 
@@ -47,14 +47,24 @@ class Checkpoint:
     fetch_pc_after: int  # where fetch would go if the prediction was wrong
 
 
-@dataclass
+@dataclass(slots=True)
 class DynInst:
-    """One in-flight dynamic instruction."""
+    """One in-flight dynamic instruction.
+
+    Slotted: the core allocates one of these per fetched instruction, so the
+    per-instance ``__dict__`` would be the single largest allocation on the
+    simulator's hot path.  ``opcode``/``pc`` are materialized at construction
+    instead of chaining through ``self.inst`` on every scheduler query.
+    """
 
     seq: int
     inst: Instruction
     fetch_cycle: int
     stage: Stage = Stage.FETCHED
+
+    # Materialized from ``inst`` in __post_init__ (hot-path shorthand).
+    opcode: Opcode = field(init=False)
+    pc: int = field(init=False)
 
     # Prediction state (control-flow instructions)
     predicted_taken: bool = False
@@ -100,6 +110,10 @@ class DynInst:
     consumers: list = field(default_factory=list)
     squashed: bool = False
     propagated: bool = False  # value visible to dependents (NDA defers this)
+
+    def __post_init__(self) -> None:
+        self.opcode = self.inst.opcode
+        self.pc = self.inst.pc
 
     # ------------------------------------------------------------- operands
     def value_of_src1(self) -> int:
@@ -176,11 +190,21 @@ class DynInst:
         any future gate decision — but it keeps lineage sets bounded by the
         in-flight window instead of growing along dependence chains.
         """
-        op = self.inst.opcode
-        deps = self.input_deps()
-        _, r1, t1 = self._producer_sets(self.src1_producer, self.src1_arf_tainted)
-        _, r2, t2 = self._producer_sets(self.src2_producer, self.src2_arf_tainted)
-        roots = r1 | r2
+        op = self.opcode
+        p1 = self.src1_producer
+        p2 = self.src2_producer
+        if p1 is not None:
+            d1, r1, t1 = p1.out_deps, p1.out_roots, p1.out_tainted
+        else:
+            d1, r1, t1 = EMPTY, EMPTY, self.src1_arf_tainted
+        if p2 is not None:
+            d2, r2, t2 = p2.out_deps, p2.out_roots, p2.out_tainted
+        else:
+            d2, r2, t2 = EMPTY, EMPTY, self.src2_arf_tainted
+        deps = self.control_deps
+        if d1 or d2:
+            deps = deps | d1 | d2
+        roots = r1 | r2 if (r1 or r2) else EMPTY
         tainted = t1 or t2
 
         if op.is_load and op is not Opcode.CFLUSH:
@@ -190,23 +214,15 @@ class DynInst:
                 store = self.forwarded_from
                 deps = deps | store.out_deps
                 roots = roots | store.out_roots
-        if unresolved is not None:
+        if unresolved is not None and deps:
             deps = frozenset(deps & unresolved)
-        if inflight_loads is not None:
+        if inflight_loads is not None and roots:
             roots = frozenset(r for r in roots if r in inflight_loads)
         self.out_deps = deps
         self.out_roots = roots
         self.out_tainted = tainted
 
     # ------------------------------------------------------------ shorthand
-    @property
-    def opcode(self) -> Opcode:
-        return self.inst.opcode
-
-    @property
-    def pc(self) -> int:
-        return self.inst.pc
-
     @property
     def is_speculation_source(self) -> bool:
         """Does this instruction open a speculative window when predicted?"""

@@ -84,12 +84,16 @@ class EnergyBreakdown:
 
 def estimate_energy(
     stats: CoreStats,
-    hierarchy: MemoryHierarchy,
+    hierarchy: MemoryHierarchy | dict,
     gate_checks: int = 0,
     tracks_dependencies: bool = False,
     params: EnergyParams | None = None,
 ) -> EnergyBreakdown:
-    """Estimate the energy of one finished run from its counters."""
+    """Estimate the energy of one finished run from its counters.
+
+    ``hierarchy`` may be a live :class:`MemoryHierarchy` or the dict its
+    ``stats()`` returns (what cached run records carry).
+    """
     p = params or EnergyParams()
     breakdown = EnergyBreakdown()
 
@@ -113,7 +117,7 @@ def estimate_energy(
     )
     breakdown.speculation_waste = squashed * (p.alu_op + p.squash_per_inst)
 
-    mem = hierarchy.stats()
+    mem = hierarchy if isinstance(hierarchy, dict) else hierarchy.stats()
     breakdown.memory = (
         (mem["l1i"]["hits"] + mem["l1i"]["misses"]) * p.l1_access
         + (mem["l1d"]["hits"] + mem["l1d"]["misses"]) * p.l1_access
