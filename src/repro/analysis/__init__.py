@@ -1,0 +1,87 @@
+"""Static analysis over assembled programs.
+
+A generic worklist dataflow framework (:mod:`.dataflow`) with four client
+analyses — reaching definitions, register liveness, secret-taint
+propagation, and the Spectre-gadget scanner built on it — plus two
+soundness checkers for the compiler metadata the Levioso hardware trusts:
+the brute-force :mod:`.verifier` (static) and the retired-instruction
+:mod:`.crosscheck` (dynamic).
+"""
+
+from .crosscheck import (
+    CrosscheckReport,
+    CrosscheckViolation,
+    crosscheck_retired,
+    run_with_crosscheck,
+)
+from .dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowProblem,
+    DataflowResult,
+    make_problem,
+    solve,
+    solve_round_robin,
+)
+from .liveness import LiveRegisters, dead_writes, live_registers
+from .reaching import (
+    ENTRY_DEF,
+    ReachingDefinitions,
+    definitions_reaching_use,
+    reaching_definitions,
+)
+from .scanner import (
+    KIND_V1,
+    KIND_V1_CT,
+    KIND_V2,
+    Finding,
+    ScanReport,
+    scan_counters,
+    scan_program,
+)
+from .taint import AbsValue, SecretTaint, TaintContext, entry_state, taint_states
+from .verifier import (
+    VerifierReport,
+    Violation,
+    brute_dependence_region,
+    brute_postdominators,
+    verify_metadata,
+)
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "ENTRY_DEF",
+    "KIND_V1",
+    "KIND_V1_CT",
+    "KIND_V2",
+    "AbsValue",
+    "CrosscheckReport",
+    "CrosscheckViolation",
+    "DataflowProblem",
+    "DataflowResult",
+    "Finding",
+    "LiveRegisters",
+    "ReachingDefinitions",
+    "ScanReport",
+    "SecretTaint",
+    "TaintContext",
+    "VerifierReport",
+    "Violation",
+    "brute_dependence_region",
+    "brute_postdominators",
+    "crosscheck_retired",
+    "dead_writes",
+    "definitions_reaching_use",
+    "entry_state",
+    "live_registers",
+    "make_problem",
+    "reaching_definitions",
+    "run_with_crosscheck",
+    "scan_counters",
+    "scan_program",
+    "solve",
+    "solve_round_robin",
+    "taint_states",
+    "verify_metadata",
+]

@@ -1,0 +1,180 @@
+"""Dynamic cross-check: simulator dependency tracking vs static prediction.
+
+The Levioso hardware model tags every fetched instruction with the set of
+unresolved branches whose reconvergence region it sits in (the front-end
+tracker in :class:`~repro.uarch.core.OooCore`).  The static metadata claims,
+for each branch, exactly which instruction pcs its region can contain.  If
+the metadata is sound, every dynamically observed dependence must be
+statically predicted:
+
+    for each retired instruction I, for each branch B in I.control_deps:
+        pc(I) ∈ control_dep_pcs[pc(B)]
+
+modulo the cases static intraprocedural analysis legitimately abstains
+from: indirect-jump windows (``jalr`` regions never reconverge and have no
+static region), branches whose metadata already gave up (reconvergence
+``None`` means the hardware holds the region until resolve — trivially
+sound), and callee instructions fetched inside a caller-side region (the
+static region is per-function; the dynamic tracker keeps the region open
+across calls, which only *adds* protection).
+
+Anything else is a genuine soundness violation of the compiler metadata —
+the hardware would release an instruction the branch actually controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..cfg.builder import build_all_cfgs
+from ..compiler.branch_deps import BranchDependencyInfo
+from ..compiler.pass_manager import ensure_analysis
+from ..errors import AnalysisError
+from ..isa import Opcode
+from ..uarch import CoreConfig, OooCore, SimResult
+from ..uarch.dyninst import DynInst
+
+
+@dataclass(frozen=True)
+class CrosscheckViolation:
+    """One retired instruction whose tracked dependence the metadata missed."""
+
+    inst_pc: int
+    branch_pc: int
+    inst_seq: int
+    branch_seq: int
+
+    def to_dict(self) -> dict:
+        return {
+            "inst_pc": self.inst_pc,
+            "branch_pc": self.branch_pc,
+            "inst_seq": self.inst_seq,
+            "branch_seq": self.branch_seq,
+        }
+
+
+@dataclass
+class CrosscheckReport:
+    """Outcome of one dynamic-vs-static dependency comparison."""
+
+    program: str
+    retired: int = 0
+    dependences_checked: int = 0
+    confirmed: int = 0          # pc listed in the branch's static region
+    indirect: int = 0           # jalr window: no static region exists
+    conservative: int = 0       # reconvergence None: held to resolve anyway
+    cross_function: int = 0     # callee code inside a caller-side region
+    violations: list[CrosscheckViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "ok": self.ok,
+            "retired": self.retired,
+            "dependences_checked": self.dependences_checked,
+            "confirmed": self.confirmed,
+            "indirect": self.indirect,
+            "conservative": self.conservative,
+            "cross_function": self.cross_function,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _functions_of_pc(program: Program) -> dict[int, frozenset[str]]:
+    containing: dict[int, set[str]] = {}
+    for cfg in build_all_cfgs(program):
+        for pc in cfg.block_of_pc:
+            containing.setdefault(pc, set()).add(cfg.name)
+    return {pc: frozenset(names) for pc, names in containing.items()}
+
+
+def crosscheck_retired(
+    program: Program,
+    retired: list[DynInst],
+    info: BranchDependencyInfo | None = None,
+) -> CrosscheckReport:
+    """Assert every retired instruction's tracked deps ⊆ static prediction."""
+    if info is None:
+        info = ensure_analysis(program)
+    report = CrosscheckReport(program=program.name, retired=len(retired))
+    pc_functions = _functions_of_pc(program)
+    # Commit is in order, so a branch always retires before its dependents;
+    # one forward sweep sees every producer before its consumers.
+    branch_pc_of_seq: dict[int, int] = {}
+    indirect_seqs: set[int] = set()
+    for dyn in retired:
+        for seq in dyn.control_deps:
+            report.dependences_checked += 1
+            if seq in indirect_seqs:
+                report.indirect += 1
+                continue
+            branch_pc = branch_pc_of_seq.get(seq)
+            if branch_pc is None:
+                # Unknown producer seq: in-order commit makes this
+                # unreachable, so treat it as a hard violation.
+                report.violations.append(
+                    CrosscheckViolation(dyn.pc, -1, dyn.seq, seq)
+                )
+                continue
+            if branch_pc in info.indirect_pcs:
+                report.indirect += 1
+            elif info.reconvergence_of(branch_pc) is None:
+                report.conservative += 1
+            elif dyn.pc in info.control_dep_pcs.get(branch_pc, frozenset()):
+                report.confirmed += 1
+            else:
+                branch_fn = info.function_of_branch.get(branch_pc)
+                if branch_fn is not None and branch_fn not in pc_functions.get(
+                    dyn.pc, frozenset()
+                ):
+                    report.cross_function += 1
+                else:
+                    report.violations.append(
+                        CrosscheckViolation(dyn.pc, branch_pc, dyn.seq, seq)
+                    )
+        if dyn.inst.is_branch:
+            branch_pc_of_seq[dyn.seq] = dyn.pc
+        elif dyn.opcode is Opcode.JALR:
+            indirect_seqs.add(dyn.seq)
+    return report
+
+
+def run_with_crosscheck(
+    program: Program,
+    policy=None,
+    config: CoreConfig | None = None,
+    use_compiler_info: bool = True,
+) -> tuple[SimResult, CrosscheckReport]:
+    """Run the OoO core recording its pipeline, then cross-check it.
+
+    Raises :class:`~repro.errors.AnalysisError` when the dynamic dependency
+    tracking escapes the static prediction — i.e. the metadata is unsound
+    on an actually-executed path.
+    """
+    if isinstance(policy, str):
+        from ..secure import make_policy
+
+        policy = make_policy(policy)
+    core = OooCore(
+        program,
+        config=config,
+        policy=policy,
+        record_pipeline=True,
+        use_compiler_info=use_compiler_info,
+    )
+    result = core.run()
+    report = crosscheck_retired(program, core.retired, program.analysis)
+    if not report.ok:
+        first = report.violations[0]
+        raise AnalysisError(
+            f"{program.name}: dynamic dependency escaped static metadata — "
+            f"retired pc {first.inst_pc:#x} depends on branch "
+            f"{first.branch_pc:#x} which does not list it "
+            f"({len(report.violations)} violation(s) total)"
+        )
+    return result, report

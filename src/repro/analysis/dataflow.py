@@ -1,0 +1,276 @@
+"""Generic worklist dataflow solver over :class:`~repro.cfg.FunctionCFG`.
+
+A :class:`DataflowProblem` describes one analysis: direction, the meet
+operator over its fact lattice, and a per-instruction transfer function.
+:func:`solve` runs the classic worklist algorithm to the (unique, by
+monotonicity) fixpoint; :func:`solve_round_robin` is the naive
+iterate-until-stable reference used by the property tests to cross-check the
+worklist scheduling.
+
+Facts are opaque values compared with ``==``.  The unvisited state (the
+lattice bottom with respect to ``meet``) is represented by ``None`` at the
+solver level, so problems never have to define an explicit bottom element:
+``meet(None, x) == x`` by construction.
+
+A convergence guard bounds the total number of block visits: a transfer
+function that is not monotone (or a meet that is not associative/idempotent)
+oscillates instead of converging, and the solver raises
+:class:`~repro.errors.AnalysisError` rather than spinning forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..cfg.basic_block import EXIT_BLOCK, BasicBlock, FunctionCFG
+from ..errors import AnalysisError
+
+Fact = Any
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """One dataflow analysis: direction, lattice meet, transfer.
+
+    Subclasses define:
+
+    * ``direction`` — :data:`FORWARD` or :data:`BACKWARD`.
+    * :meth:`boundary` — the fact entering the CFG (at the entry block for
+      forward problems, at every exit edge for backward ones).
+    * :meth:`meet` — combine two facts arriving over different edges.  Must
+      be commutative, associative and idempotent.
+    * :meth:`transfer_inst` — apply one instruction to a fact.  Must be
+      monotone in the fact argument.
+
+    The block-level transfer folds :meth:`transfer_inst` over the block in
+    program order (forward) or reverse order (backward); override
+    :meth:`transfer_block` only for analyses with genuine block-level
+    summaries.
+    """
+
+    direction: str = FORWARD
+
+    def boundary(self, cfg: FunctionCFG) -> Fact:
+        raise NotImplementedError
+
+    def meet(self, a: Fact, b: Fact) -> Fact:
+        raise NotImplementedError
+
+    def transfer_inst(self, inst, fact: Fact) -> Fact:
+        raise NotImplementedError
+
+    def transfer_block(self, block: BasicBlock, fact: Fact) -> Fact:
+        instructions = block.instructions
+        if self.direction == BACKWARD:
+            instructions = reversed(instructions)
+        for inst in instructions:
+            fact = self.transfer_inst(inst, fact)
+        return fact
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint facts of one solved problem.
+
+    ``entry_facts``/``exit_facts`` are keyed by block id and hold the fact
+    at the block's entry (before its first instruction) and exit (after its
+    last), independent of analysis direction.  Blocks unreachable along the
+    analysis direction keep ``None``.
+    """
+
+    problem: DataflowProblem
+    cfg: FunctionCFG
+    entry_facts: dict[int, Fact] = field(default_factory=dict)
+    exit_facts: dict[int, Fact] = field(default_factory=dict)
+    visits: int = 0
+
+    def before(self, pc: int) -> Fact:
+        """The fact holding immediately before the instruction at ``pc``."""
+        return self._at(pc, after=False)
+
+    def after(self, pc: int) -> Fact:
+        """The fact holding immediately after the instruction at ``pc``."""
+        return self._at(pc, after=True)
+
+    def _at(self, pc: int, after: bool) -> Fact:
+        block = self.cfg.block_at(pc)
+        problem = self.problem
+        if problem.direction == FORWARD:
+            fact = self.entry_facts.get(block.bid)
+            if fact is None:
+                return None
+            for inst in block.instructions:
+                if inst.pc == pc and not after:
+                    return fact
+                fact = problem.transfer_inst(inst, fact)
+                if inst.pc == pc:
+                    return fact
+        else:
+            fact = self.exit_facts.get(block.bid)
+            if fact is None:
+                return None
+            for inst in reversed(block.instructions):
+                if inst.pc == pc and after:
+                    return fact
+                fact = problem.transfer_inst(inst, fact)
+                if inst.pc == pc:
+                    return fact
+        raise AnalysisError(f"pc {pc:#x} not in block {block.bid}")
+
+
+def _edges(cfg: FunctionCFG, direction: str) -> dict[int, list[int]]:
+    """Propagation edges by block id (EXIT_BLOCK pruned)."""
+    if direction == FORWARD:
+        return {
+            b.bid: [s for s in b.successors if s != EXIT_BLOCK] for b in cfg.blocks
+        }
+    return {b.bid: list(b.predecessors) for b in cfg.blocks}
+
+
+def _roots(cfg: FunctionCFG, direction: str) -> list[int]:
+    if direction == FORWARD:
+        return [cfg.block_of_pc[cfg.entry_pc]]
+    return [b.bid for b in cfg.blocks if EXIT_BLOCK in b.successors]
+
+
+def _record(
+    result: DataflowResult, direction: str, bid: int, in_fact: Fact, out_fact: Fact
+) -> None:
+    if direction == FORWARD:
+        result.entry_facts[bid] = in_fact
+        result.exit_facts[bid] = out_fact
+    else:
+        result.exit_facts[bid] = in_fact
+        result.entry_facts[bid] = out_fact
+
+
+def solve(
+    cfg: FunctionCFG,
+    problem: DataflowProblem,
+    max_visits: int | None = None,
+) -> DataflowResult:
+    """Run ``problem`` over ``cfg`` to its fixpoint with a worklist.
+
+    ``max_visits`` caps total block visits (default ``64 + 128 * blocks``);
+    exceeding it means the problem does not converge and raises
+    :class:`AnalysisError`.
+    """
+    direction = problem.direction
+    edges = _edges(cfg, direction)
+    roots = _roots(cfg, direction)
+    if max_visits is None:
+        max_visits = 64 + 128 * cfg.num_blocks
+
+    boundary = problem.boundary(cfg)
+    # Fact flowing *into* each block along the analysis direction.
+    in_facts: dict[int, Fact] = {}
+    out_facts: dict[int, Fact] = {}
+    for root in roots:
+        prior = in_facts.get(root)
+        in_facts[root] = boundary if prior is None else problem.meet(prior, boundary)
+
+    work: deque[int] = deque(roots)
+    queued: set[int] = set(roots)
+    result = DataflowResult(problem=problem, cfg=cfg)
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        result.visits += 1
+        if result.visits > max_visits:
+            raise AnalysisError(
+                f"dataflow did not converge on {cfg.name!r} after "
+                f"{max_visits} block visits (non-monotone transfer?)"
+            )
+        in_fact = in_facts.get(bid)
+        if in_fact is None:
+            continue
+        out_fact = problem.transfer_block(cfg.blocks[bid], in_fact)
+        if out_fact == out_facts.get(bid) and bid in out_facts:
+            continue
+        out_facts[bid] = out_fact
+        for succ in edges[bid]:
+            prior = in_facts.get(succ)
+            merged = out_fact if prior is None else problem.meet(prior, out_fact)
+            if merged != prior:
+                in_facts[succ] = merged
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+
+    for bid, in_fact in in_facts.items():
+        _record(result, direction, bid, in_fact, out_facts.get(bid))
+    return result
+
+
+def solve_round_robin(
+    cfg: FunctionCFG,
+    problem: DataflowProblem,
+    max_passes: int = 1000,
+) -> DataflowResult:
+    """Naive reference solver: sweep all blocks until nothing changes.
+
+    Exists to cross-check :func:`solve` in the property tests — same
+    fixpoint, wildly different visit order.
+    """
+    direction = problem.direction
+    edges = _edges(cfg, direction)
+    roots = set(_roots(cfg, direction))
+    boundary = problem.boundary(cfg)
+
+    in_facts: dict[int, Fact] = {}
+    out_facts: dict[int, Fact] = {}
+    result = DataflowResult(problem=problem, cfg=cfg)
+    # Reverse edges: who feeds block B along the analysis direction.
+    feeders: dict[int, list[int]] = {b.bid: [] for b in cfg.blocks}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            feeders[dst].append(src)
+
+    for _ in range(max_passes):
+        changed = False
+        for block in cfg.blocks:
+            bid = block.bid
+            fact: Fact = boundary if bid in roots else None
+            for feeder in feeders[bid]:
+                fed = out_facts.get(feeder)
+                if fed is None:
+                    continue
+                fact = fed if fact is None else problem.meet(fact, fed)
+            if fact is None:
+                continue
+            result.visits += 1
+            out_fact = problem.transfer_block(block, fact)
+            if in_facts.get(bid) != fact or out_facts.get(bid) != out_fact:
+                in_facts[bid] = fact
+                out_facts[bid] = out_fact
+                changed = True
+        if not changed:
+            break
+    else:
+        raise AnalysisError(
+            f"round-robin dataflow did not stabilize on {cfg.name!r} "
+            f"within {max_passes} passes"
+        )
+
+    for bid, in_fact in in_facts.items():
+        _record(result, direction, bid, in_fact, out_facts.get(bid))
+    return result
+
+
+def make_problem(
+    direction: str,
+    boundary: Callable[[FunctionCFG], Fact],
+    meet: Callable[[Fact, Fact], Fact],
+    transfer_inst: Callable[[Any, Fact], Fact],
+) -> DataflowProblem:
+    """Build an ad-hoc problem from plain functions (testing convenience)."""
+    problem = DataflowProblem()
+    problem.direction = direction
+    problem.boundary = boundary  # type: ignore[method-assign]
+    problem.meet = meet  # type: ignore[method-assign]
+    problem.transfer_inst = transfer_inst  # type: ignore[method-assign]
+    return problem

@@ -1,0 +1,63 @@
+"""Register liveness over a function CFG.
+
+Backward may-analysis: a register is live at a point when some path from the
+point reads it before writing it.  The fact is a frozenset of architectural
+register indices.  ``exit_live`` configures what is considered live at
+function exit — empty by default (our workloads communicate results through
+explicit self-check registers, and the analysis is intraprocedural), pass
+e.g. ``frozenset({10})`` to keep ``a0`` live across returns.
+"""
+
+from __future__ import annotations
+
+from ..cfg.basic_block import FunctionCFG
+from .dataflow import BACKWARD, DataflowProblem, DataflowResult, solve
+
+EMPTY: frozenset[int] = frozenset()
+
+
+class LiveRegisters(DataflowProblem):
+    """Backward liveness; facts are frozensets of live register indices."""
+
+    direction = BACKWARD
+
+    def __init__(self, exit_live: frozenset[int] = EMPTY):
+        self.exit_live = exit_live
+
+    def boundary(self, cfg: FunctionCFG) -> frozenset[int]:
+        return self.exit_live
+
+    def meet(self, a, b):
+        return a | b
+
+    def transfer_inst(self, inst, fact):
+        dest = inst.dest_reg()
+        if dest is not None:
+            fact = fact - {dest}
+        sources = inst.source_regs()
+        if sources:
+            fact = fact | frozenset(sources)
+        return fact
+
+
+def live_registers(
+    cfg: FunctionCFG, exit_live: frozenset[int] = EMPTY
+) -> DataflowResult:
+    """Solve liveness for ``cfg``."""
+    return solve(cfg, LiveRegisters(exit_live))
+
+
+def dead_writes(cfg: FunctionCFG, result: DataflowResult | None = None) -> list[int]:
+    """PCs whose register write is never read (diagnostic helper)."""
+    if result is None:
+        result = live_registers(cfg)
+    dead: list[int] = []
+    for block in cfg.blocks:
+        for inst in block.instructions:
+            dest = inst.dest_reg()
+            if dest is None:
+                continue
+            live_after = result.after(inst.pc)
+            if live_after is not None and dest not in live_after:
+                dead.append(inst.pc)
+    return dead

@@ -1,0 +1,58 @@
+"""Reaching definitions over a function CFG.
+
+A *definition* is a ``(register, pc)`` pair; the definition reaches a
+program point when some path from it to the point has no intervening write
+of the same register.  Registers live-in at the function entry are modeled
+by the pseudo-definition pc :data:`ENTRY_DEF`, so a use can always be traced
+to at least one definition.
+"""
+
+from __future__ import annotations
+
+from ..cfg.basic_block import FunctionCFG
+from ..isa import NUM_REGS
+from .dataflow import FORWARD, DataflowProblem, DataflowResult, solve
+
+ENTRY_DEF = -1
+"""Pseudo-pc of the definition every register carries at function entry."""
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-analysis; facts are frozensets of ``(reg, pc)`` pairs."""
+
+    direction = FORWARD
+
+    def boundary(self, cfg: FunctionCFG) -> frozenset[tuple[int, int]]:
+        return frozenset((reg, ENTRY_DEF) for reg in range(NUM_REGS))
+
+    def meet(self, a, b):
+        return a | b
+
+    def transfer_inst(self, inst, fact):
+        dest = inst.dest_reg()
+        if dest is None:
+            return fact
+        return frozenset(d for d in fact if d[0] != dest) | {(dest, inst.pc)}
+
+
+def reaching_definitions(cfg: FunctionCFG) -> DataflowResult:
+    """Solve reaching definitions for ``cfg``."""
+    return solve(cfg, ReachingDefinitions())
+
+
+def definitions_reaching_use(result: DataflowResult, pc: int) -> dict[int, frozenset[int]]:
+    """Definition pcs feeding each source register of the instruction at ``pc``.
+
+    Returns ``{reg: frozenset of def pcs}`` for the registers the
+    instruction actually reads (use-def chains for one use site).
+    """
+    inst = result.cfg.block_at(pc).instructions[0]
+    for candidate in result.cfg.block_at(pc).instructions:
+        if candidate.pc == pc:
+            inst = candidate
+            break
+    fact = result.before(pc) or frozenset()
+    chains: dict[int, frozenset[int]] = {}
+    for reg in inst.source_regs():
+        chains[reg] = frozenset(def_pc for d_reg, def_pc in fact if d_reg == reg)
+    return chains

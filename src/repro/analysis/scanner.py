@@ -1,0 +1,331 @@
+"""Static Spectre-gadget scanner.
+
+Flags *transmitters* — memory instructions (loads, stores, ``cflush``) whose
+address derives from secret data — executing under a speculative window: the
+control-dependence region of a conditional branch, or code reachable only
+through an indirect jump (``jalr`` windows never reconverge).  These are the
+v1 / v1-CT / v2 shapes the dynamic :mod:`repro.attacks` suite builds, found
+ahead-of-time on the binary:
+
+* ``spectre-v1`` — the address descends from a *speculatively* reachable
+  secret (a non-constant-address load inside a branch window: the
+  bounds-check-bypass access), and the transmit is itself under a window.
+* ``spectre-v1-ct`` — the address descends from a *non-speculatively*
+  loaded secret (a ``.secret``-range load), transmitted under a window:
+  the constant-time threat model leak.
+* ``spectre-v2`` — the transmit sits in code reachable only via an indirect
+  jump target (BTB-injection landing pad), with secret data inherited from
+  the registers live at the program's indirect call sites.
+
+A program with no ``.secret`` regions can leak nothing and always scans
+clean — the scanner is secret-aware, not pattern-paranoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..cfg.basic_block import FunctionCFG
+from ..cfg.builder import build_all_cfgs, build_function_cfg
+from ..compiler.control_dep import all_control_dependence
+from ..compiler.pass_manager import ensure_analysis
+from ..isa import Opcode
+from .dataflow import DataflowResult, solve
+from .taint import (
+    NO_PCS,
+    ZERO,
+    AbsValue,
+    RegState,
+    SecretTaint,
+    TaintContext,
+    entry_state,
+)
+
+KIND_V1 = "spectre-v1"
+KIND_V1_CT = "spectre-v1-ct"
+KIND_V2 = "spectre-v2"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One statically flagged transmitter."""
+
+    kind: str                     # spectre-v1 / spectre-v1-ct / spectre-v2
+    pc: int                       # transmitter pc
+    function: str
+    instruction: str              # disassembled text
+    guards: tuple[int, ...]       # branch/jalr pcs opening the window
+    secret_srcs: tuple[int, ...]  # load pcs where secrecy entered the lineage
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "function": self.function,
+            "instruction": self.instruction,
+            "guards": list(self.guards),
+            "secret_srcs": list(self.secret_srcs),
+            "message": self.message,
+        }
+
+
+@dataclass
+class ScanReport:
+    """Scanner output for one program."""
+
+    program: str
+    findings: list[Finding] = field(default_factory=list)
+    functions_scanned: int = 0
+    orphan_instructions: int = 0
+    secret_ranges: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def flagged_transmitters(self) -> int:
+        """Distinct transmitter pcs flagged (the Table 2 counter)."""
+        return len({f.pc for f in self.findings})
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "clean": self.clean,
+            "flagged_transmitters": self.flagged_transmitters,
+            "counts": self.counts_by_kind(),
+            "functions_scanned": self.functions_scanned,
+            "orphan_instructions": self.orphan_instructions,
+            "secret_ranges": self.secret_ranges,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def region_map(control_dep_pcs: dict[int, frozenset[int]]) -> dict[int, frozenset[int]]:
+    """Invert branch->region metadata into pc -> guarding branch pcs."""
+    guards: dict[int, set[int]] = {}
+    for branch_pc, pcs in control_dep_pcs.items():
+        for pc in pcs:
+            guards.setdefault(pc, set()).add(branch_pc)
+    return {pc: frozenset(s) for pc, s in guards.items()}
+
+
+def _scan_function(
+    program: Program,
+    cfg: FunctionCFG,
+    taint: DataflowResult,
+    context: TaintContext,
+    indirect_target: bool,
+    report: ScanReport,
+    seen: set[tuple[int, str]],
+) -> None:
+    """Walk one solved function, flagging secret-addressed transmitters."""
+    problem: SecretTaint = taint.problem
+    for block in cfg.blocks:
+        state: RegState | None = taint.entry_facts.get(block.bid)
+        if state is None:
+            continue  # unreachable within this function
+        for inst in block.instructions:
+            if inst.is_mem and inst.opcode.reads_rs1:
+                addr: AbsValue = state[inst.rs1]
+                guards = context.guards_of(inst.pc)
+                if addr.secret and guards:
+                    if indirect_target:
+                        kind = KIND_V2
+                    elif addr.secret_direct:
+                        kind = KIND_V1_CT
+                    else:
+                        kind = KIND_V1
+                    key = (inst.pc, kind)
+                    if key not in seen:
+                        seen.add(key)
+                        origin = (
+                            "non-speculative .secret load"
+                            if addr.secret_direct
+                            else "speculatively reachable secret"
+                        )
+                        report.findings.append(
+                            Finding(
+                                kind=kind,
+                                pc=inst.pc,
+                                function=cfg.name,
+                                instruction=inst.text(),
+                                guards=tuple(sorted(guards)),
+                                secret_srcs=tuple(sorted(addr.secret_srcs)),
+                                message=(
+                                    f"{inst.opcode.mnemonic} address derives from "
+                                    f"{origin} (loaded at "
+                                    f"{', '.join(hex(p) for p in sorted(addr.secret_srcs))}) "
+                                    f"under unresolved window of "
+                                    f"{', '.join(hex(p) for p in sorted(guards))}"
+                                ),
+                            )
+                        )
+            state = problem.transfer_inst(inst, state)
+
+
+def _jalr_summary(
+    cfgs: list[FunctionCFG], taints: dict[str, DataflowResult]
+) -> RegState | None:
+    """Join of register states at every indirect-jump site.
+
+    This is what an injected indirect-branch target may observe: the
+    registers live when any ``jalr`` in the program executes.
+    """
+    summary: RegState | None = None
+    for cfg in cfgs:
+        taint = taints.get(cfg.name)
+        if taint is None:
+            continue
+        problem: SecretTaint = taint.problem
+        for block in cfg.blocks:
+            state = taint.entry_facts.get(block.bid)
+            if state is None:
+                continue
+            for inst in block.instructions:
+                if inst.opcode is Opcode.JALR:
+                    summary = (
+                        state if summary is None else problem.meet(summary, state)
+                    )
+                state = problem.transfer_inst(inst, state)
+    return summary
+
+
+def _widen(state: RegState) -> RegState:
+    """Drop constants, keep taint/secrecy.
+
+    An indirect-jump landing pad can be entered on *any* dynamic occurrence
+    of any ``jalr``, so concrete register values seen at one static site are
+    not stable — but taint and secrecy lineage joined over all sites is.
+    """
+    regs = [
+        AbsValue(
+            tainted=v.tainted,
+            secret_direct=v.secret_direct,
+            secret_spec=v.secret_spec,
+            secret_srcs=v.secret_srcs,
+        )
+        for v in state
+    ]
+    regs[0] = ZERO
+    return tuple(regs)
+
+
+def _orphan_entries(program: Program, covered: set[int]) -> list[int]:
+    """Entry pcs for text not reachable from any discovered function."""
+    orphan = {
+        inst.pc for inst in program.instructions if inst.pc not in covered
+    }
+    if not orphan:
+        return []
+    entries = sorted(
+        addr for addr in program.symbols.values() if addr in orphan
+    )
+    remaining = set(orphan)
+    result: list[int] = []
+    for entry in entries:
+        if entry not in remaining:
+            continue
+        result.append(entry)
+        cfg = build_function_cfg(program, entry)
+        remaining -= set(cfg.block_of_pc)
+    while remaining:
+        entry = min(remaining)
+        result.append(entry)
+        cfg = build_function_cfg(program, entry)
+        remaining -= set(cfg.block_of_pc)
+    return sorted(result)
+
+
+def scan_program(program: Program) -> ScanReport:
+    """Run the Spectre-gadget scanner over one assembled program."""
+    info = ensure_analysis(program)
+    cfgs = build_all_cfgs(program)
+    guards_by_pc = region_map(info.control_dep_pcs)
+    report = ScanReport(
+        program=program.name, secret_ranges=len(program.secret_ranges)
+    )
+    seen: set[tuple[int, str]] = set()
+
+    taints: dict[str, DataflowResult] = {}
+    covered: set[int] = set()
+    for cfg in cfgs:
+        covered.update(cfg.block_of_pc)
+        context = TaintContext(program=program, region_of=guards_by_pc)
+        taint = solve(cfg, SecretTaint(context))
+        taints[cfg.name] = taint
+        report.functions_scanned += 1
+        _scan_function(
+            program, cfg, taint, context, indirect_target=False,
+            report=report, seen=seen,
+        )
+
+    # Code reachable only through indirect jumps (the v2 landing pads):
+    # scan under a permanent jalr speculation window, seeded with the join
+    # of register states at every indirect call site.  Orphan code can
+    # itself reach jalr sites (loop closers jumping back into discovered
+    # functions, chained pads), so the summary is iterated to a fixpoint:
+    # what flows into a pad may flow around and back into the next entry.
+    orphan_entries = _orphan_entries(program, covered)
+    if orphan_entries:
+        window = frozenset(info.indirect_pcs)
+        orphan_cfgs: list[tuple[FunctionCFG, TaintContext]] = []
+        for entry in orphan_entries:
+            cfg = build_function_cfg(program, entry)
+            report.orphan_instructions += sum(
+                1 for pc in cfg.block_of_pc if pc not in covered
+            )
+            local_guards = dict(guards_by_pc)
+            for branch_pc, pcs in all_control_dependence(cfg).items():
+                for pc in pcs:
+                    local_guards[pc] = local_guards.get(pc, NO_PCS) | {branch_pc}
+            orphan_cfgs.append(
+                (
+                    cfg,
+                    TaintContext(
+                        program=program,
+                        region_of=local_guards,
+                        always_speculative=window,
+                    ),
+                )
+            )
+
+        all_cfgs = cfgs + [cfg for cfg, _ in orphan_cfgs]
+        orphan_taints: dict[str, DataflowResult] = {}
+        summary = _widen(_jalr_summary(cfgs, taints) or entry_state())
+        for _ in range(8):  # joins are monotone: converges in a few rounds
+            orphan_taints = {
+                cfg.name: solve(cfg, SecretTaint(context, entry=summary))
+                for cfg, context in orphan_cfgs
+            }
+            combined = {**taints, **orphan_taints}
+            refined = _widen(
+                _jalr_summary(all_cfgs, combined) or entry_state()
+            )
+            if refined == summary:
+                break
+            summary = refined
+        for cfg, context in orphan_cfgs:
+            _scan_function(
+                program, cfg, orphan_taints[cfg.name], context,
+                indirect_target=True, report=report, seen=seen,
+            )
+
+    report.findings.sort(key=lambda f: (f.pc, f.kind))
+    return report
+
+
+def scan_counters(program: Program) -> dict[str, int]:
+    """Compact counters for harness tables (Table 2's new column)."""
+    report = scan_program(program)
+    counters = {"flagged_transmitters": report.flagged_transmitters}
+    counters.update(report.counts_by_kind())
+    return counters

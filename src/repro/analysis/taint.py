@@ -1,0 +1,211 @@
+"""Static secret-taint propagation seeded from ``.secret`` data regions.
+
+Forward dataflow over per-register abstract values.  Each register tracks:
+
+* a constant lattice (``const``: known value / unknown), folded with the
+  *same* ALU semantics the simulators execute
+  (:func:`repro.functional.semantics.alu_result`), so address arithmetic on
+  ``la``-materialized bases resolves statically;
+* structural taint (``tainted``): the value derives from loaded data — the
+  static analog of the dynamic ``out_tainted`` bit the policies consult;
+* secrecy, in the two forms the threat models distinguish:
+
+  - ``secret_direct`` — derives from a load whose (statically resolved)
+    address overlaps a declared ``.secret`` range: a *non-speculatively*
+    accessed secret, the constant-time threat model (v1-CT/v2 victims).
+  - ``secret_spec`` — derives from a load that may *speculatively* reach
+    secret data: its address is not statically constant and the load sits
+    inside the control-dependence region of an unresolved-branch window
+    (the bounds-check-bypass shape), in a program that declares secrets.
+
+Assumptions (documented, linter-grade): initial data-segment contents are
+treated as read-only for constant folding of pointer tables (``.dword sym``
+indirection), and memory taint is not tracked through stores — a secret
+stored and reloaded is only caught at its original load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program
+from ..cfg.basic_block import FunctionCFG
+from ..errors import IsaError
+from ..functional.semantics import alu_result, load_is_signed
+from ..isa import NUM_REGS, Opcode
+from .dataflow import FORWARD, DataflowProblem, DataflowResult, solve
+
+NO_PCS: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """Abstract value of one register at one program point."""
+
+    const: int | None = None        # statically known value, None = unknown
+    tainted: bool = False           # derives from loaded data
+    secret_direct: bool = False     # derives from a .secret-range load
+    secret_spec: bool = False       # derives from a speculatively-reachable secret
+    secret_srcs: frozenset[int] = NO_PCS  # load pcs where secrecy entered
+
+    @property
+    def secret(self) -> bool:
+        return self.secret_direct or self.secret_spec
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        const = self.const if self.const == other.const else None
+        return AbsValue(
+            const=const,
+            tainted=self.tainted or other.tainted,
+            secret_direct=self.secret_direct or other.secret_direct,
+            secret_spec=self.secret_spec or other.secret_spec,
+            secret_srcs=self.secret_srcs | other.secret_srcs,
+        )
+
+
+UNKNOWN = AbsValue()
+ZERO = AbsValue(const=0)
+
+RegState = tuple  # tuple[AbsValue, ...] of length NUM_REGS
+
+
+def entry_state() -> RegState:
+    """Conservative function-entry state: nothing known, nothing tainted."""
+    regs = [UNKNOWN] * NUM_REGS
+    regs[0] = ZERO
+    return tuple(regs)
+
+
+@dataclass
+class TaintContext:
+    """Program-level inputs shared by every function's taint run."""
+
+    program: Program
+    region_of: dict[int, frozenset[int]]  # pc -> guarding branch pcs
+    always_speculative: frozenset[int] = NO_PCS  # window guards applied to all pcs
+    assume_rom: bool = True
+
+    @property
+    def has_secrets(self) -> bool:
+        return bool(self.program.secret_ranges)
+
+    def guards_of(self, pc: int) -> frozenset[int]:
+        """Branch pcs whose unresolved window covers the instruction at ``pc``."""
+        guards = self.region_of.get(pc, NO_PCS)
+        if self.always_speculative:
+            guards = guards | self.always_speculative
+        return guards
+
+
+class SecretTaint(DataflowProblem):
+    """Forward taint/constant propagation; facts are register-state tuples."""
+
+    direction = FORWARD
+
+    def __init__(self, context: TaintContext, entry: RegState | None = None):
+        self.context = context
+        self.entry = entry if entry is not None else entry_state()
+
+    def boundary(self, cfg: FunctionCFG) -> RegState:
+        return self.entry
+
+    def meet(self, a: RegState, b: RegState) -> RegState:
+        if a == b:
+            return a
+        return tuple(x if x == y else x.join(y) for x, y in zip(a, b))
+
+    # ------------------------------------------------------------- transfer
+    def transfer_inst(self, inst, state: RegState) -> RegState:
+        dest = inst.dest_reg()
+        if dest is None:
+            return state  # stores, branches, cflush, fence: no register effect
+        op = inst.opcode
+        if op.is_load:
+            value = self._load_value(inst, state)
+        elif op is Opcode.RDCYCLE:
+            value = UNKNOWN
+        else:
+            value = self._alu_value(inst, state)
+        if state[dest] == value:
+            return state
+        regs = list(state)
+        regs[dest] = value
+        return tuple(regs)
+
+    def _alu_value(self, inst, state: RegState) -> AbsValue:
+        op = inst.opcode
+        a = state[inst.rs1] if op.reads_rs1 else ZERO
+        b = state[inst.rs2] if op.reads_rs2 else ZERO
+        const: int | None = None
+        if (not op.reads_rs1 or a.const is not None) and (
+            not op.reads_rs2 or b.const is not None
+        ):
+            try:
+                const = alu_result(
+                    op, a.const or 0, b.const or 0, inst.imm, inst.pc
+                )
+            except IsaError:
+                const = None
+        tainted = a.tainted or b.tainted
+        if not tainted and not a.secret and not b.secret:
+            return UNKNOWN if const is None else AbsValue(const=const)
+        return AbsValue(
+            const=const,
+            tainted=tainted,
+            secret_direct=a.secret_direct or b.secret_direct,
+            secret_spec=a.secret_spec or b.secret_spec,
+            secret_srcs=a.secret_srcs | b.secret_srcs,
+        )
+
+    def _load_value(self, inst, state: RegState) -> AbsValue:
+        ctx = self.context
+        program = ctx.program
+        base = state[inst.rs1]
+        size = inst.mem_size or 1
+        if base.const is not None:
+            address = (base.const + inst.imm) & ((1 << 64) - 1)
+            if program.is_secret_address(address, size):
+                return AbsValue(
+                    tainted=True, secret_direct=True,
+                    secret_srcs=frozenset((inst.pc,)),
+                )
+            const = None
+            if ctx.assume_rom:
+                const = _initial_data_value(program, address, size, inst.opcode)
+            return AbsValue(const=const, tainted=True)
+        # Unknown address: under an unresolved-branch window an attacker-
+        # steered index may reach any secret the program declares.
+        if ctx.has_secrets and ctx.guards_of(inst.pc):
+            return AbsValue(
+                tainted=True, secret_spec=True, secret_srcs=frozenset((inst.pc,))
+            )
+        return AbsValue(tainted=True)
+
+
+def _initial_data_value(
+    program: Program, address: int, size: int, opcode: Opcode
+) -> int | None:
+    """Read the initial data image (treated as ROM for pointer tables)."""
+    offset = address - program.data_base
+    if offset < 0 or offset + size > len(program.data):
+        return None
+    raw = int.from_bytes(program.data[offset : offset + size], "little")
+    if load_is_signed(opcode) and raw >= 1 << (8 * size - 1):
+        raw -= 1 << (8 * size)
+    return raw & ((1 << 64) - 1)
+
+
+def taint_states(
+    program: Program,
+    cfg: FunctionCFG,
+    region_of: dict[int, frozenset[int]],
+    entry: RegState | None = None,
+    always_speculative: frozenset[int] = NO_PCS,
+) -> DataflowResult:
+    """Solve secret-taint propagation for one function."""
+    context = TaintContext(
+        program=program,
+        region_of=region_of,
+        always_speculative=always_speculative,
+    )
+    return solve(cfg, SecretTaint(context, entry))

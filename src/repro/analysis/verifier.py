@@ -1,0 +1,261 @@
+"""Compiler-metadata soundness verifier.
+
+Levioso's security guarantee stands on the compiler-emitted
+:class:`~repro.compiler.branch_deps.BranchDependencyInfo` being *sound*: the
+hardware closes a branch's speculation region at the claimed reconvergence
+point and restricts only the claimed control-dependent instructions, so a
+missed true dependence is a security hole (an unprotected transmitter), while
+an excess dependence only costs performance.
+
+This module re-derives both facts by brute force, sharing **no code** with
+the production analysis pipeline (which goes through the iterative
+Cooper-Harvey-Kennedy dominance solver and a region walk):
+
+* *Post-dominance by node removal* — X post-dominates Y iff the virtual
+  exit becomes unreachable from Y once X is deleted from the graph.  One
+  reachability sweep per candidate pair; O(V²·E) and obviously correct.
+* *Minimal dependence region* — blocks reachable from the branch's
+  successors along paths avoiding **every** post-dominator of the branch
+  block (execution is decided by the branch exactly until the first
+  guaranteed block).
+
+Soundness requires: metadata region ⊇ brute-force region, and the claimed
+reconvergence point is a genuine post-dominator.  The gap between the two
+regions is the metadata's imprecision, reported for Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..cfg.basic_block import EXIT_BLOCK, FunctionCFG
+from ..cfg.builder import build_all_cfgs
+from ..compiler.branch_deps import BranchDependencyInfo
+from ..compiler.pass_manager import ensure_analysis
+
+Node = int
+
+
+def _successor_map(cfg: FunctionCFG) -> dict[Node, list[Node]]:
+    succs: dict[Node, list[Node]] = {EXIT_BLOCK: []}
+    for block in cfg.blocks:
+        succs[block.bid] = list(block.successors)
+    return succs
+
+
+def _reachable_avoiding(
+    succs: dict[Node, list[Node]],
+    starts: list[Node],
+    blocked: frozenset[Node],
+) -> set[Node]:
+    """Nodes reachable from ``starts`` without entering ``blocked``."""
+    seen: set[Node] = set()
+    work = [n for n in starts if n not in blocked]
+    while work:
+        node = work.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for succ in succs.get(node, ()):
+            if succ not in seen and succ not in blocked:
+                work.append(succ)
+    return seen
+
+
+def brute_postdominators(cfg: FunctionCFG) -> dict[Node, frozenset[Node]]:
+    """Post-dominator sets by node deletion (independent of the CHK solver).
+
+    ``result[y]`` holds every node x (including y itself and
+    :data:`EXIT_BLOCK`) such that all paths from y to the exit pass x.
+    Blocks that cannot reach the exit at all (infinite loops) are absent.
+    """
+    succs = _successor_map(cfg)
+    nodes = [b.bid for b in cfg.blocks]
+    result: dict[Node, frozenset[Node]] = {}
+    for y in nodes:
+        if EXIT_BLOCK not in _reachable_avoiding(succs, [y], frozenset()):
+            continue  # cannot exit: post-dominance undefined
+        pdoms = {y, EXIT_BLOCK}
+        for x in nodes:
+            if x == y:
+                continue
+            if EXIT_BLOCK not in _reachable_avoiding(succs, [y], frozenset((x,))):
+                pdoms.add(x)
+        result[y] = frozenset(pdoms)
+    return result
+
+
+def brute_dependence_region(
+    cfg: FunctionCFG,
+    branch_pc: int,
+    pdoms: dict[Node, frozenset[Node]] | None = None,
+) -> frozenset[int]:
+    """Minimal set of instruction pcs whose execution the branch decides.
+
+    Blocks reachable from the branch's successors avoiding every strict
+    post-dominator of the branch block.  This is the floor any sound
+    metadata region must cover.
+    """
+    if pdoms is None:
+        pdoms = brute_postdominators(cfg)
+    succs = _successor_map(cfg)
+    bid = cfg.block_of_pc[branch_pc]
+    strict = frozenset(
+        p for p in pdoms.get(bid, frozenset()) if p != bid
+    )
+    starts = [s for s in cfg.blocks[bid].successors if s != EXIT_BLOCK]
+    region = _reachable_avoiding(succs, starts, strict)
+    pcs: set[int] = set()
+    for node in region:
+        if node == EXIT_BLOCK:
+            continue
+        for inst in cfg.blocks[node].instructions:
+            pcs.add(inst.pc)
+    return frozenset(pcs)
+
+
+def brute_ipdom(
+    bid: Node, pdoms: dict[Node, frozenset[Node]]
+) -> Node | None:
+    """The closest strict post-dominator of ``bid`` (EXIT_BLOCK possible)."""
+    mine = pdoms.get(bid)
+    if mine is None:
+        return None
+    strict = [p for p in mine if p != bid]
+    for candidate in strict:
+        others = [p for p in strict if p != candidate]
+        candidate_pdoms = (
+            pdoms.get(candidate, frozenset({EXIT_BLOCK, candidate}))
+            if candidate != EXIT_BLOCK
+            else frozenset({EXIT_BLOCK})
+        )
+        if all(p in candidate_pdoms for p in others):
+            return candidate
+    return None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One soundness defect found in the metadata."""
+
+    branch_pc: int
+    function: str
+    kind: str     # missing-branch / missed-dependence / bogus-reconvergence
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "branch_pc": self.branch_pc,
+            "function": self.function,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class VerifierReport:
+    """Soundness verdict + precision statistics for one program's metadata."""
+
+    program: str
+    branches_checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    exact_regions: int = 0        # metadata region == brute-force region
+    excess_pcs: int = 0           # sum over branches of |metadata \ brute|
+    exact_reconvergence: int = 0  # metadata reconv == brute ipdom
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations
+
+    @property
+    def mean_excess(self) -> float:
+        if not self.branches_checked:
+            return 0.0
+        return self.excess_pcs / self.branches_checked
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "sound": self.sound,
+            "branches_checked": self.branches_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "exact_regions": self.exact_regions,
+            "exact_reconvergence": self.exact_reconvergence,
+            "excess_pcs": self.excess_pcs,
+            "mean_excess": round(self.mean_excess, 3),
+        }
+
+
+def verify_metadata(
+    program: Program, info: BranchDependencyInfo | None = None
+) -> VerifierReport:
+    """Cross-check the program's branch metadata against brute force."""
+    if info is None:
+        info = ensure_analysis(program)
+    report = VerifierReport(program=program.name)
+    for cfg in build_all_cfgs(program):
+        pdoms = brute_postdominators(cfg)
+        for branch in cfg.conditional_branches():
+            pc = branch.pc
+            if info.function_of_branch.get(pc, cfg.name) != cfg.name:
+                continue  # shared code: metadata belongs to another function
+            report.branches_checked += 1
+            if not info.knows_branch(pc):
+                report.violations.append(
+                    Violation(pc, cfg.name, "missing-branch",
+                              "branch absent from metadata")
+                )
+                continue
+            bid = cfg.block_of_pc[pc]
+            reconv = info.reconvergence_of(pc)
+            if bid not in pdoms:
+                # The branch cannot reach the exit: no reconvergence exists.
+                if reconv is not None:
+                    report.violations.append(
+                        Violation(
+                            pc, cfg.name, "bogus-reconvergence",
+                            f"claims reconvergence {reconv:#x} but the branch "
+                            "block cannot reach the function exit",
+                        )
+                    )
+                continue
+            # Reconvergence claim: must be a genuine post-dominator.
+            ipdom_bf = brute_ipdom(bid, pdoms)
+            if reconv is None:
+                if ipdom_bf is None or ipdom_bf == EXIT_BLOCK:
+                    report.exact_reconvergence += 1
+                # A None claim is always sound (conservative fallback).
+            else:
+                reconv_bid = cfg.block_of_pc.get(reconv)
+                if reconv_bid is None or reconv_bid not in pdoms[bid]:
+                    report.violations.append(
+                        Violation(
+                            pc, cfg.name, "bogus-reconvergence",
+                            f"claimed reconvergence {reconv:#x} does not "
+                            "post-dominate the branch",
+                        )
+                    )
+                elif (
+                    ipdom_bf == reconv_bid
+                    and cfg.blocks[reconv_bid].start_pc == reconv
+                ):
+                    report.exact_reconvergence += 1
+            # Dependence region: metadata must cover the brute-force floor.
+            brute = brute_dependence_region(cfg, pc, pdoms)
+            claimed = info.control_dep_pcs.get(pc, frozenset())
+            missed = brute - claimed
+            if missed:
+                report.violations.append(
+                    Violation(
+                        pc, cfg.name, "missed-dependence",
+                        f"{len(missed)} control-dependent pc(s) missing from "
+                        f"metadata region: "
+                        f"{', '.join(hex(p) for p in sorted(missed)[:8])}",
+                    )
+                )
+            excess = claimed - brute
+            report.excess_pcs += len(excess)
+            if not missed and not excess:
+                report.exact_regions += 1
+    return report

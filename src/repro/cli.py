@@ -4,7 +4,8 @@ Subcommands::
 
     repro run FILE.s [--policy P] [--functional] [--trace]
     repro disasm FILE.s
-    repro analyze FILE.s                 # Levioso compiler pass report
+    repro analyze TARGET [--json]        # compiler pass + gadget scan + verifier
+    repro lint TARGET... [--expect E]    # scan many programs, gate on the result
     repro bench [--scale S] [--jobs N] [--policies ...] [--workloads ...]
     repro experiment ID... [--scale S] [--jobs N] [--cache]
     repro attack NAME [--policy P] [--secret N]
@@ -50,6 +51,22 @@ def _load_source(path: str):
         return assemble(f.read(), name=path)
 
 
+def _resolve_program(target: str):
+    """A lint/analyze target: assembly file, workload name, or attack name."""
+    import os
+
+    if os.path.exists(target):
+        return _load_source(target)
+    if target in WORKLOAD_NAMES:
+        return build_workload(target, scale="test").assemble()
+    if target in ATTACKS:
+        return ATTACKS[target]()
+    raise ReproError(
+        f"unknown target {target!r}: not a file, workload "
+        f"({', '.join(WORKLOAD_NAMES)}) or attack ({', '.join(sorted(ATTACKS))})"
+    )
+
+
 def cmd_run(args) -> int:
     program = _load_source(args.file)
     if args.json and not args.functional:
@@ -87,9 +104,31 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    program = _load_source(args.file)
+    from .analysis import scan_program, verify_metadata
+
+    program = _resolve_program(args.file)
     info = run_levioso_pass(program)
     stats = static_stats(program)
+    scan = scan_program(program)
+    verdict = verify_metadata(program, info)
+
+    if args.json:
+        import dataclasses
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "program": program.name,
+                    "pass": dataclasses.asdict(stats),
+                    "scan": scan.to_dict(),
+                    "verifier": verdict.to_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0 if scan.clean and verdict.sound else 1
+
     print(f"functions analysed:   {len(set(info.function_of_branch.values()))}")
     print(f"static instructions:  {stats.static_instructions}")
     print(f"conditional branches: {stats.static_branches}")
@@ -107,7 +146,97 @@ def cmd_analyze(args) -> int:
             ]
         )
     print(format_table(["branch", "reconv", "region size", "function"], rows))
-    return 0
+
+    print()
+    print(
+        f"metadata verifier:    "
+        f"{'SOUND' if verdict.sound else 'UNSOUND'} "
+        f"({verdict.branches_checked} branches, "
+        f"{verdict.exact_regions} exact regions, "
+        f"{verdict.excess_pcs} excess pcs)"
+    )
+    for violation in verdict.violations:
+        print(f"  VIOLATION {violation.kind} at {violation.branch_pc:#x} "
+              f"[{violation.function}]: {violation.detail}")
+
+    print(
+        f"gadget scanner:       "
+        f"{'clean' if scan.clean else f'{len(scan.findings)} finding(s)'} "
+        f"({scan.functions_scanned} functions, "
+        f"{scan.orphan_instructions} orphan instructions, "
+        f"{scan.secret_ranges} secret range(s))"
+    )
+    for finding in scan.findings:
+        print(f"  [{finding.kind}] {finding.pc:#x} {finding.instruction} "
+              f"— {finding.message}")
+    return 0 if scan.clean and verdict.sound else 1
+
+
+def cmd_lint(args) -> int:
+    from .analysis import scan_program, verify_metadata
+
+    results = []
+    for target in args.targets:
+        program = _resolve_program(target)
+        scan = scan_program(program)
+        verdict = verify_metadata(program)
+        results.append((target, scan, verdict))
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "target": target,
+                        "scan": scan.to_dict(),
+                        "verifier": verdict.to_dict(),
+                    }
+                    for target, scan, verdict in results
+                ],
+                indent=2,
+            )
+        )
+    else:
+        rows = []
+        for target, scan, verdict in results:
+            counts = scan.counts_by_kind()
+            rows.append(
+                [
+                    target,
+                    "clean" if scan.clean else f"{len(scan.findings)} finding(s)",
+                    ", ".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+                    or "-",
+                    "sound" if verdict.sound else "UNSOUND",
+                ]
+            )
+        print(format_table(["target", "scan", "kinds", "metadata"], rows))
+
+    unsound = [t for t, _, v in results if not v.sound]
+    flagged = [t for t, s, _ in results if not s.clean]
+    if unsound:
+        print(f"error: unsound metadata on: {', '.join(unsound)}", file=sys.stderr)
+        return 1
+    if args.expect == "clean":
+        if flagged:
+            print(
+                f"error: expected clean, but findings on: {', '.join(flagged)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.expect == "findings":
+        missed = [t for t, s, _ in results if s.clean]
+        if missed:
+            print(
+                f"error: expected findings, but scanned clean: "
+                f"{', '.join(missed)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 1 if flagged else 0
 
 
 def _make_cache(args) -> ResultCache | None:
@@ -235,9 +364,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(func=cmd_disasm)
 
-    p = sub.add_parser("analyze", help="run the Levioso compiler pass")
-    p.add_argument("file")
+    p = sub.add_parser(
+        "analyze",
+        help="compiler pass report + gadget scan + metadata verifier",
+    )
+    p.add_argument("file", metavar="TARGET",
+                   help="assembly file, workload name, or attack name")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="scan programs for Spectre gadgets and verify their metadata",
+    )
+    p.add_argument("targets", nargs="+", metavar="TARGET",
+                   help="assembly files, workload names, or attack names")
+    p.add_argument(
+        "--expect", choices=("clean", "findings"), default=None,
+        help="gate the exit code on the expected outcome (CI use)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=cmd_lint)
 
     def add_parallel_flags(p):
         p.add_argument(

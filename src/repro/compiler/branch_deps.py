@@ -53,14 +53,16 @@ class BranchDependencyInfo:
 
         ``keep_reconvergence=False`` erases every reconvergence point —
         the hardware then behaves like the conservative baseline.
+        Degradation must be *conservative*: a ``None`` reconvergence means
+        the region never closes early, so the dependency sets may only
+        stay equal or grow, never shrink — the verifier and the dynamic
+        cross-check rely on this.
         """
         if keep_reconvergence:
             return self
         return BranchDependencyInfo(
             reconv_pc={pc: None for pc in self.reconv_pc},
-            control_dep_pcs={
-                pc: frozenset() for pc in self.control_dep_pcs
-            },
+            control_dep_pcs=dict(self.control_dep_pcs),
             indirect_pcs=set(self.indirect_pcs),
             function_of_branch=dict(self.function_of_branch),
         )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ...analysis import scan_counters
 from ...compiler import static_stats
 from ...workloads import build_suite
 from .base import ExperimentResult
@@ -12,6 +13,7 @@ def run(scale: str = "ref") -> ExperimentResult:
     for workload in build_suite(scale):
         program = workload.assemble()
         stats = static_stats(program)
+        counters = scan_counters(program)
         rows.append(
             [
                 stats.program,
@@ -21,6 +23,7 @@ def run(scale: str = "ref") -> ExperimentResult:
                 round(stats.mean_region_size, 1),
                 round(stats.mean_reconv_distance, 1),
                 round(stats.frac_insts_in_any_region, 3),
+                counters["flagged_transmitters"],
             ]
         )
     return ExperimentResult(
@@ -34,10 +37,13 @@ def run(scale: str = "ref") -> ExperimentResult:
             "mean region",
             "mean reconv dist",
             "frac in region",
+            "flagged transmitters",
         ],
         rows=rows,
         notes=(
             "reconv coverage: fraction of branches with an intra-function "
-            "reconvergence point; region sizes in instructions."
+            "reconvergence point; region sizes in instructions; flagged "
+            "transmitters: distinct memory instructions the static gadget "
+            "scanner flags (SPEClite kernels should all be 0)."
         ),
     )

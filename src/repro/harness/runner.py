@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..errors import SimulationError
+from ..errors import AnalysisError, SimulationError
 from ..secure import make_policy
 from ..uarch import CoreConfig, OooCore, SimResult
 from ..uarch.stats import CoreStats
@@ -87,11 +87,17 @@ class ExperimentRunner:
 
     def __init__(self, scale: str = "ref", config: CoreConfig | None = None,
                  verbose: bool = False, cache: ResultCache | None = None,
-                 store: dict[str, RunRecord] | None = None):
+                 store: dict[str, RunRecord] | None = None,
+                 crosscheck: bool = False):
         self.scale = scale
         self.config = config or CoreConfig()
         self.verbose = verbose
         self.cache = cache
+        # When set, every simulation records its pipeline and asserts, per
+        # retired instruction, that the tracked dynamic dependency set is
+        # covered by the static compiler metadata (soundness cross-check).
+        # Cached results are bypassed: the point is to observe a real run.
+        self.crosscheck = crosscheck
         self.simulations = 0  # actual OooCore runs (cache hits excluded)
         self._cache: dict[str, RunRecord] = store if store is not None else {}
         self._workloads: dict[str, Workload] = {}
@@ -144,14 +150,15 @@ class ExperimentRunner:
         """Run one (workload, policy) pair, self-checking the result."""
         cfg = config or self.config
         key = self.run_key_for(workload_name, policy_name, cfg, use_compiler_info)
-        record = self._cache.get(key)
-        if record is not None:
-            return record
-        if self.cache is not None:
-            record = self.cache.get(key)
+        if not self.crosscheck:
+            record = self._cache.get(key)
             if record is not None:
-                self._cache[key] = record
                 return record
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._cache[key] = record
+                    return record
         workload = self.workload(workload_name)
         program = workload.assemble()
         core = OooCore(
@@ -159,9 +166,22 @@ class ExperimentRunner:
             config=cfg,
             policy=make_policy(policy_name),
             use_compiler_info=use_compiler_info,
+            record_pipeline=self.crosscheck,
         )
         result = core.run()
         self.simulations += 1
+        if self.crosscheck:
+            from ..analysis import crosscheck_retired
+
+            check = crosscheck_retired(program, core.retired)
+            if not check.ok:
+                first = check.violations[0]
+                raise AnalysisError(
+                    f"{workload_name} under {policy_name}: dynamic dependency "
+                    f"escaped static metadata — retired pc {first.inst_pc:#x} "
+                    f"depends on branch {first.branch_pc:#x} which does not "
+                    f"list it ({len(check.violations)} violation(s))"
+                )
         if not workload.validate(result.regs):
             raise SimulationError(
                 f"{workload_name} under {policy_name}: self-check failed "

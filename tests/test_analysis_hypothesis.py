@@ -1,0 +1,64 @@
+"""Property tests for the dataflow solver and metadata degradation.
+
+Two invariants the rest of the PR leans on:
+
+* The worklist solver and the naive round-robin reference reach the *same*
+  fixpoint on arbitrary generated CFGs (monotone frameworks have a unique
+  maximal fixpoint; the schedulers differ wildly, the answer must not).
+* ``BranchDependencyInfo.degraded()`` is conservative: it may erase
+  reconvergence points (the hardware then holds regions until resolve) but
+  must never shrink a dependency set.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.asm import assemble
+from repro.analysis import (
+    LiveRegisters,
+    ReachingDefinitions,
+    live_registers,
+    reaching_definitions,
+    solve_round_robin,
+)
+from repro.cfg import build_all_cfgs
+from repro.compiler import run_levioso_pass
+from repro.testing import programs
+
+PROPERTY_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _facts(result):
+    return (result.entry_facts, result.exit_facts)
+
+
+@PROPERTY_SETTINGS
+@given(source=programs())
+def test_worklist_matches_round_robin_fixpoint(source):
+    program = assemble(source, name="prop")
+    for cfg in build_all_cfgs(program):
+        worklist_fwd = reaching_definitions(cfg)
+        naive_fwd = solve_round_robin(cfg, ReachingDefinitions())
+        assert _facts(worklist_fwd) == _facts(naive_fwd)
+
+        worklist_bwd = live_registers(cfg)
+        naive_bwd = solve_round_robin(cfg, LiveRegisters())
+        assert _facts(worklist_bwd) == _facts(naive_bwd)
+
+
+@PROPERTY_SETTINGS
+@given(source=programs())
+def test_degraded_metadata_never_shrinks_dependency_sets(source):
+    program = assemble(source, name="prop")
+    info = run_levioso_pass(program)
+    degraded = info.degraded(keep_reconvergence=False)
+    assert set(degraded.control_dep_pcs) == set(info.control_dep_pcs)
+    for branch_pc, region in info.control_dep_pcs.items():
+        assert degraded.control_dep_pcs[branch_pc] >= region
+    assert all(v is None for v in degraded.reconv_pc.values())
+    assert degraded.indirect_pcs == info.indirect_pcs

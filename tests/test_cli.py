@@ -67,3 +67,42 @@ def test_error_paths_return_2(tmp_path, capsys):
     bad.write_text(".text\n  bogus\n")
     assert main(["run", str(bad)]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_analyze_exit_codes(prog, capsys):
+    # 0 = clean + sound metadata; 1 = findings; 2 = error.
+    assert main(["analyze", prog]) == 0
+    assert main(["analyze", "matmul"]) == 0
+    assert main(["analyze", "spectre_v1"]) == 1
+    assert main(["analyze", "no_such_target"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_analyze_json_payload(capsys):
+    assert main(["analyze", "spectre_v1_ct", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verifier"]["sound"] is True
+    assert payload["scan"]["clean"] is False
+    assert payload["scan"]["flagged_transmitters"] >= 1
+    kinds = {f["kind"] for f in payload["scan"]["findings"]}
+    assert "spectre-v1-ct" in kinds
+
+
+def test_lint_expectation_gating(capsys):
+    assert main(["lint", "matmul", "crc", "--expect", "clean"]) == 0
+    assert main(["lint", "spectre_v1", "spectre_v2", "--expect", "findings"]) == 0
+    # Expectation violated in both directions:
+    assert main(["lint", "spectre_v1", "--expect", "clean"]) == 1
+    assert main(["lint", "matmul", "--expect", "findings"]) == 1
+    # Default gate: any finding fails.
+    capsys.readouterr()
+    assert main(["lint", "matmul"]) == 0
+    assert main(["lint", "matmul", "spectre_v1"]) == 1
+
+
+def test_lint_json(capsys):
+    assert main(["lint", "cipher", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["target"] == "cipher"
+    assert payload[0]["scan"]["clean"] is True
+    assert payload[0]["verifier"]["sound"] is True
