@@ -12,11 +12,19 @@ Subcommands::
     repro pipeline FILE.s [--policy P]   # per-instruction timeline view
     repro report [--scale S]             # fold bench artifacts into EXPERIMENTS.md
     repro suite                          # list workloads
-    repro cache {info,clear}             # persistent run-result cache
+    repro cache {info,verify,repair,clear}   # persistent run-result cache
+    repro chaos [--seed N]               # fault-injection smoke drill
 
 ``--jobs N`` fans simulations out over N worker processes (default:
 ``$REPRO_JOBS`` or 1); ``--cache`` persists run results on disk (location:
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-levioso/runs``).
+
+Grid execution is supervised: ``--retries``/``--timeout`` bound each
+point's attempts and wall clock, ``--resume`` continues an interrupted
+invocation from its journal (requires ``--cache``), ``--keep-going``
+finishes the grid around permanently failed points and renders partial
+tables with explicit holes, and ``--fault-plan`` injects a seeded fault
+plan (JSON text or ``@file``) for chaos testing.
 
 Also usable as ``python -m repro ...``.
 """
@@ -245,10 +253,34 @@ def _make_cache(args) -> ResultCache | None:
     return ResultCache(getattr(args, "cache_dir", None))
 
 
+def _make_retry_policy(args):
+    from .harness import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=max(getattr(args, "retries", 2) + 1, 1),
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _install_fault_plan(args) -> None:
+    """Activate ``--fault-plan`` (inline JSON or ``@path``), if given."""
+    text = getattr(args, "fault_plan", None)
+    if not text:
+        return
+    from .faults import FaultPlan
+
+    if text.startswith("@"):
+        with open(text[1:]) as f:
+            text = f.read()
+    FaultPlan.from_json(text).install()
+
+
 def cmd_bench(args) -> int:
     cache = _make_cache(args)
+    _install_fault_plan(args)
     runner = ParallelRunner(
-        scale=args.scale, verbose=args.jobs <= 1, jobs=args.jobs, cache=cache
+        scale=args.scale, verbose=args.jobs <= 1, jobs=args.jobs, cache=cache,
+        retry_policy=_make_retry_policy(args), keep_going=args.keep_going,
     )
     policies = args.policies or ["none", "fence", "ctt", "levioso"]
     workloads = args.workloads or list(WORKLOAD_NAMES)
@@ -274,17 +306,27 @@ def cmd_bench(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from .harness import render_resilience
+
     cache = _make_cache(args)
-    results = run_experiments(
-        args.ids, scale=args.scale, jobs=args.jobs, cache=cache
+    _install_fault_plan(args)
+    results, report = run_experiments(
+        args.ids, scale=args.scale, jobs=args.jobs, cache=cache,
+        retry_policy=_make_retry_policy(args),
+        keep_going=args.keep_going, resume=args.resume,
+        journal_path=args.journal, with_report=True,
     )
     for result in results.values():
         print(result.text())
         print()
+    if report.outcomes or report.pool_rebuilds:
+        print(render_resilience(report))
     if cache is not None:
         print(f"cache: {cache.stats.hits} hits, {cache.stats.misses} misses, "
-              f"{cache.stats.stores} stored")
-    return 0
+              f"{cache.stats.stores} stored"
+              + (f", {cache.stats.quarantined} quarantined"
+                 if cache.stats.quarantined else ""))
+    return 0 if report.ok else 1
 
 
 def cmd_cache(args) -> int:
@@ -295,8 +337,30 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached run(s) from {cache.root}")
         return 0
+    if args.action == "verify":
+        result = cache.verify()
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0 if result.clean else 1
+    if args.action == "repair":
+        counts = cache.repair()
+        print(json.dumps(counts, indent=2))
+        return 0
     print(json.dumps(cache.info(), indent=2))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from .harness import chaos_smoke
+
+    ok = chaos_smoke(
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        workloads=tuple(args.workloads or ("gather", "pchase")),
+        policies=tuple(args.policies or ("none", "levioso")),
+        cache_dir=args.cache_dir,
+    )
+    return 0 if ok else 1
 
 
 def cmd_attack(args) -> int:
@@ -400,6 +464,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="cache location (default: $REPRO_CACHE_DIR or "
             "~/.cache/repro-levioso/runs)",
         )
+        p.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="retries per grid point after the first attempt (default: 2)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECS",
+            help="per-point wall-clock budget; hung workers are abandoned "
+            "and the point retried (parallel mode only)",
+        )
+        p.add_argument(
+            "--keep-going", action="store_true",
+            help="complete the grid around permanently failed points and "
+            "render partial tables with explicit holes",
+        )
+        p.add_argument(
+            "--fault-plan", default=None, metavar="JSON|@FILE",
+            help="inject a seeded fault plan (chaos testing)",
+        )
 
     p = sub.add_parser("bench", help="overhead table across the suite")
     p.add_argument("--scale", default="test", choices=("test", "ref"))
@@ -413,12 +495,38 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="ID")
     p.add_argument("--scale", default="test", choices=("test", "ref"))
     add_parallel_flags(p)
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted invocation from its journal "
+        "(requires --cache); only unfinished points re-simulate",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="journal manifest location (default: derived from the grid, "
+        "under the cache root)",
+    )
     p.set_defaults(func=cmd_experiment)
 
-    p = sub.add_parser("cache", help="inspect or clear the run-result cache")
-    p.add_argument("action", choices=("info", "clear"))
+    p = sub.add_parser(
+        "cache", help="inspect, verify, repair or clear the run-result cache"
+    )
+    p.add_argument("action", choices=("info", "verify", "repair", "clear"))
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection drill: inject worker crashes/hangs/"
+        "kills + cache corruption, assert recovery is bit-identical",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", default="test", choices=("test", "ref"))
+    p.add_argument("--jobs", type=int, default=2, metavar="N")
+    p.add_argument("--workloads", nargs="*", choices=WORKLOAD_NAMES)
+    p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES)
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="keep the drill's cache here (default: temp dir)")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
     p.add_argument("name", choices=sorted(ATTACKS))

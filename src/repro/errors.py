@@ -49,8 +49,13 @@ class MemoryFault(SimulationError):
         super().__init__(f"memory fault at {address:#x}: {reason}")
 
 
-class TimeoutError_(SimulationError):
+class SimulationTimeout(SimulationError):
     """The simulation exceeded its instruction or cycle budget."""
+
+
+#: Deprecated alias of :class:`SimulationTimeout`; kept so existing callers
+#: (and pickled exceptions from old worker processes) keep resolving.
+TimeoutError_ = SimulationTimeout
 
 
 class AnalysisError(ReproError):
@@ -63,3 +68,31 @@ class ConfigError(ReproError):
 
 class PolicyError(ReproError):
     """A security policy was configured or used incorrectly."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness failed operationally.
+
+    Raised for supervisor-level problems — grid points that exhausted
+    their retry budget, a resume journal that cannot be used, a worker
+    pool that could not be kept alive — as opposed to errors *inside* a
+    simulation (those are :class:`SimulationError`).
+    """
+
+
+class CacheCorruptionError(HarnessError):
+    """A persistent cache entry failed an integrity check.
+
+    Covers truncated or non-JSON files, checksum mismatches, and
+    version-salt mismatches.  :meth:`ResultCache.get` never lets this
+    escape (corrupt entries are quarantined and reported as misses); it
+    surfaces from ``repro cache verify`` and strict loads.
+    """
+
+
+class InjectedFault(ReproError):
+    """An artificial failure raised by the fault-injection plan.
+
+    Only ever raised when a :class:`repro.faults.FaultPlan` is active
+    (chaos tests / ``repro chaos``); production runs never see it.
+    """

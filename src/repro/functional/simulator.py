@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..asm.program import Program
-from ..errors import SimulationError, TimeoutError_
+from ..errors import SimulationError, SimulationTimeout
 from ..isa import Instruction, Opcode
 from . import semantics
 from .state import ArchState
@@ -152,7 +152,7 @@ class FunctionalSimulator:
         """Run until HALT or the instruction budget is exhausted."""
         while not self.state.halted:
             if self.instruction_count >= max_instructions:
-                raise TimeoutError_(
+                raise SimulationTimeout(
                     f"functional run exceeded {max_instructions} instructions "
                     f"(pc={self.state.pc:#x})"
                 )

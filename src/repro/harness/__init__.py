@@ -1,4 +1,4 @@
-"""Experiment harness: runners, sweeps, table formatting, experiments."""
+"""Experiment harness: runners, sweeps, tables, experiments, resilience."""
 
 from .cache import ResultCache, config_fingerprint, run_key, workload_fingerprint
 from .experiments import EXPERIMENTS, ExperimentResult
@@ -9,7 +9,21 @@ from .parallel import (
     plan_experiment_grid,
     run_experiments,
 )
-from .report import collect_artifacts, render_record, update_experiments_md
+from .report import (
+    collect_artifacts,
+    render_record,
+    render_resilience,
+    resilience_summary,
+    update_experiments_md,
+)
+from .resilience import (
+    ResilienceReport,
+    RetryPolicy,
+    RunJournal,
+    RunOutcome,
+    chaos_smoke,
+    execute_supervised,
+)
 from .runner import ExperimentRunner, RunRecord, geomean
 from .tables import format_percent, format_series, format_table
 
@@ -19,17 +33,25 @@ __all__ = [
     "ExperimentRunner",
     "GridPoint",
     "ParallelRunner",
+    "ResilienceReport",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "RunOutcome",
     "RunRecord",
+    "chaos_smoke",
     "collect_artifacts",
     "config_fingerprint",
     "default_jobs",
+    "execute_supervised",
     "format_percent",
     "format_series",
     "format_table",
     "geomean",
     "plan_experiment_grid",
     "render_record",
+    "render_resilience",
+    "resilience_summary",
     "run_experiments",
     "run_key",
     "update_experiments_md",

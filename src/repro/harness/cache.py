@@ -26,9 +26,12 @@ import dataclasses
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..errors import CacheCorruptionError
+from ..faults import maybe_fault
 from ..uarch import CoreConfig
 from ..uarch.stats import CoreStats
 
@@ -121,9 +124,38 @@ class CacheStats:
     stores: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    corrupt: int = 0       # entries that failed an integrity check
+    quarantined: int = 0   # corrupt entries moved aside for inspection
+    stale: int = 0         # entries written under a different version salt
+    store_errors: int = 0  # put() attempts lost to I/O errors (non-fatal)
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class VerifyResult:
+    """Outcome of a full-cache integrity scan (``repro cache verify``)."""
+
+    checked: int = 0
+    ok: int = 0
+    legacy: int = 0                 # pre-envelope entries (no checksum)
+    corrupt: list = dataclasses.field(default_factory=list)  # Paths
+    stale: list = dataclasses.field(default_factory=list)    # Paths
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.stale
+
+    def as_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "ok": self.ok,
+            "legacy": self.legacy,
+            "corrupt": [str(p) for p in self.corrupt],
+            "stale": [str(p) for p in self.stale],
+            "clean": self.clean,
+        }
 
 
 class ResultCache:
@@ -160,35 +192,119 @@ class ResultCache:
         )
         return RunRecord(**data)
 
+    # --------------------------------------------------------------- envelope
+    @staticmethod
+    def _envelope(payload: dict) -> dict:
+        """Wrap a record payload with its content checksum and salt.
+
+        The checksum covers a canonical rendering of the payload, so any
+        truncation or bit-flip of the stored record is detectable even
+        when the damaged file still parses as JSON.
+        """
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return {
+            "v": 1,
+            "salt": version_salt(),
+            "sha256": hashlib.sha256(body.encode()).hexdigest(),
+            "record": payload,
+        }
+
+    @classmethod
+    def _open_envelope(cls, path: Path, text: str) -> dict:
+        """Checked payload out of an entry's bytes.
+
+        Raises :class:`CacheCorruptionError` on any integrity problem.
+        Pre-envelope (legacy) entries — a bare payload dict — pass
+        through unchecked for compatibility.
+        """
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise CacheCorruptionError(f"{path}: not JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise CacheCorruptionError(f"{path}: not a JSON object")
+        if "record" not in data or "sha256" not in data:
+            return data  # legacy bare payload (no checksum to verify)
+        payload = data["record"]
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(body.encode()).hexdigest()
+        if digest != data["sha256"]:
+            raise CacheCorruptionError(
+                f"{path}: checksum mismatch "
+                f"(stored {str(data['sha256'])[:12]}…, computed {digest[:12]}…)"
+            )
+        return payload
+
     # ------------------------------------------------------------------ store
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    QUARANTINE_DIR = "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside (never delete evidence)."""
+        dest_dir = self.root / self.QUARANTINE_DIR
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(dest_dir / path.name)
+            self.stats.quarantined += 1
+        except OSError:
+            path.unlink(missing_ok=True)
+
     def get(self, key: str) -> "RunRecord | None":
+        """Fetch a record; **never raises** on a damaged or missing entry.
+
+        Corrupt/truncated entries are quarantined and reported as misses,
+        so one bad file re-simulates one point instead of poisoning or
+        aborting a whole figure regeneration.
+        """
         path = self._path(key)
         try:
+            maybe_fault("cache.get", key)  # io_error kind raises OSError
             text = path.read_text()
-        except (FileNotFoundError, OSError):
+        except OSError:
             self.stats.misses += 1
             return None
         try:
-            record = self.deserialize(json.loads(text))
-        except (ValueError, TypeError, KeyError):
-            # Corrupt or stale-schema entry: treat as a miss and drop it.
+            payload = self._open_envelope(path, text)
+            record = self.deserialize(payload)
+        except CacheCorruptionError:
+            self.stats.corrupt += 1
             self.stats.misses += 1
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
+            return None
+        except (ValueError, TypeError, KeyError):
+            # Stale-schema entry: quarantine it like corruption.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(text)
         return record
 
     def put(self, key: str, record: "RunRecord") -> None:
+        """Store a record atomically; I/O failures are non-fatal.
+
+        The temp file gets a pid+uuid-unique name *in the same directory*
+        (same filesystem, so ``replace`` stays atomic): two concurrent
+        writers of one key can no longer collide on a shared ``.tmp``
+        path — the losers' bytes are simply superseded.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(self.serialize(record))
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(text)
-        tmp.replace(path)  # atomic vs concurrent readers/writers
+        text = json.dumps(self._envelope(self.serialize(record)))
+        spec = maybe_fault("cache.put", key)  # io_error kind raises OSError
+        if spec is not None and spec.kind == "corrupt":
+            text = text[: max(len(text) // 2, 1)]  # truncated mid-record
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text)
+            tmp.replace(path)  # atomic vs concurrent readers/writers
+        except OSError:
+            self.stats.store_errors += 1
+            tmp.unlink(missing_ok=True)
+            return
         self.stats.stores += 1
         self.stats.bytes_written += len(text)
 
@@ -196,7 +312,63 @@ class ResultCache:
     def entries(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        return sorted(
+            p for p in self.root.glob("*/*.json")
+            if p.parent.name != self.QUARANTINE_DIR
+        )
+
+    def quarantined(self) -> list[Path]:
+        return sorted((self.root / self.QUARANTINE_DIR).glob("*.json"))
+
+    def verify(self) -> VerifyResult:
+        """Integrity-scan every entry without mutating the store."""
+        result = VerifyResult()
+        for path in self.entries():
+            result.checked += 1
+            try:
+                text = path.read_text()
+            except OSError:
+                result.corrupt.append(path)
+                continue
+            try:
+                data = json.loads(text)
+                payload = self._open_envelope(path, text)
+                self.deserialize(payload)
+            except CacheCorruptionError:
+                result.corrupt.append(path)
+                continue
+            except (ValueError, TypeError, KeyError):
+                result.corrupt.append(path)
+                continue
+            if isinstance(data, dict) and "sha256" in data:
+                if data.get("salt") != version_salt():
+                    result.stale.append(path)
+                    self.stats.stale += 1
+                else:
+                    result.ok += 1
+            else:
+                result.legacy += 1
+        return result
+
+    def repair(self, purge_stale: bool = True) -> dict[str, int]:
+        """Quarantine corrupt entries (and optionally purge stale ones).
+
+        Returns counters; after a repair, :meth:`verify` is clean.
+        """
+        scan = self.verify()
+        for path in scan.corrupt:
+            self._quarantine(path)
+        purged = 0
+        if purge_stale:
+            for path in scan.stale:
+                path.unlink(missing_ok=True)
+                purged += 1
+        return {
+            "quarantined": len(scan.corrupt),
+            "purged_stale": purged,
+            "ok": scan.ok,
+            "legacy": scan.legacy,
+        }
 
     def info(self) -> dict:
         entries = self.entries()
@@ -204,6 +376,7 @@ class ResultCache:
             "root": str(self.root),
             "entries": len(entries),
             "total_bytes": sum(p.stat().st_size for p in entries),
+            "quarantined": len(self.quarantined()),
             "version_salt": version_salt(),
             "session": self.stats.as_dict(),
         }

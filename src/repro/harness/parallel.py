@@ -26,12 +26,22 @@ runner.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..errors import HarnessError
 from ..uarch import CoreConfig
 from .cache import ResultCache
+from .resilience import (
+    ResilienceReport,
+    RetryPolicy,
+    RunJournal,
+    WorkItem,
+    execute_supervised,
+    failed_run_record,
+    journal_path_for,
+    simulate_point,
+)
 from .runner import ExperimentRunner, RunRecord
 
 
@@ -54,16 +64,9 @@ class GridPoint:
     config: CoreConfig | None = None  # None -> the runner's default config
 
 
-def _simulate_point(args: tuple[str, GridPoint, CoreConfig]) -> RunRecord:
-    """Top-level worker (must be picklable for ProcessPoolExecutor)."""
-    scale, point, default_config = args
-    runner = ExperimentRunner(scale=scale, config=point.config or default_config)
-    record = runner.run(
-        point.workload,
-        point.policy,
-        use_compiler_info=point.use_compiler_info,
-    )
-    return record.slim()
+#: Backwards-compatible alias; the worker entrypoint now lives with the
+#: supervisor (:func:`repro.harness.resilience.simulate_point`).
+_simulate_point = simulate_point
 
 
 class ParallelRunner(ExperimentRunner):
@@ -74,23 +77,57 @@ class ParallelRunner(ExperimentRunner):
     in-memory store so subsequent ``run()`` calls are hits.  Pass a shared
     ``store`` dict to pool results across runners with different default
     configs (keys are content fingerprints, so this is always safe).
+
+    Prefetching is *supervised* (:mod:`repro.harness.resilience`): worker
+    exceptions are captured per point — with traceback text — into
+    :class:`RunOutcome` records on :attr:`report` instead of aborting the
+    grid, points are retried under ``retry_policy``, a dead or hung pool
+    is rebuilt (ultimately degrading to serial execution), and a
+    :class:`RunJournal` can record completions for ``--resume``.
+
+    With ``keep_going=True``, permanently failed points do not raise:
+    ``run()`` returns a NaN-filled hole record for them so experiments
+    can render partial tables (see ``resilience.scrub_holes``).
     """
 
     def __init__(self, scale: str = "ref", config: CoreConfig | None = None,
                  verbose: bool = False, cache: ResultCache | None = None,
-                 store: dict[str, RunRecord] | None = None, jobs: int | None = None):
+                 store: dict[str, RunRecord] | None = None,
+                 jobs: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 keep_going: bool = False,
+                 journal: RunJournal | None = None,
+                 resume: bool = False):
         super().__init__(scale=scale, config=config, verbose=verbose,
                          cache=cache, store=store)
         self.jobs = jobs if jobs is not None else default_jobs()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.keep_going = keep_going
+        self.journal = journal
+        self.resume = resume
+        self.report = ResilienceReport()
+        #: key -> (workload, policy) of points that exhausted their budget.
+        self.failed_points: dict[str, tuple[str, str]] = {}
 
     def prefetch(self, points: Iterable[GridPoint]) -> int:
-        """Simulate every not-yet-cached point; returns how many ran.
+        """Simulate every not-yet-cached point; returns how many succeeded.
 
         Points already in the in-memory store or the persistent cache are
         skipped; duplicates within ``points`` collapse to one simulation.
+        With a journal and ``resume=True``, points the manifest records
+        as complete are only re-verified against the cache — a key that
+        is journaled *and* cached is skipped without simulating.
+
+        Unless ``keep_going`` is set, points that remain failed after
+        supervision raise a summarizing :class:`HarnessError` at the end
+        (the rest of the grid still completes first).
         """
         todo: list[tuple[str, GridPoint]] = []
         seen: set[str] = set()
+        resumed = 0
+        journaled_done = (self.journal.completed()
+                          if self.journal is not None and self.resume
+                          else set())
         for point in points:
             cfg = point.config or self.config
             key = self.run_key_for(point.workload, point.policy, cfg,
@@ -101,27 +138,73 @@ class ParallelRunner(ExperimentRunner):
                 record = self.cache.get(key)
                 if record is not None:
                     self._cache[key] = record
+                    if key in journaled_done:
+                        resumed += 1
                     continue
+            # A journaled-complete key whose record is gone (cache off or
+            # evicted) must re-simulate: resume never invents results.
             seen.add(key)
             todo.append((key, point))
+        self.report = ResilienceReport()
         if not todo:
             return 0
 
-        if self.jobs <= 1 or len(todo) == 1:
-            for key, point in todo:
-                self.run(point.workload, point.policy, config=point.config,
-                         use_compiler_info=point.use_compiler_info)
-            return len(todo)
+        items = [
+            WorkItem(
+                key=key,
+                args=(self.scale, point, self.config),
+                workload=point.workload,
+                policy=point.policy,
+            )
+            for key, point in todo
+        ]
 
-        work = [(self.scale, point, self.config) for _, point in todo]
-        workers = min(self.jobs, len(work))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for (key, _), record in zip(todo, pool.map(_simulate_point, work)):
-                self.simulations += 1
-                self._cache[key] = record
-                if self.cache is not None:
-                    self.cache.put(key, record)
-        return len(todo)
+        def on_success(item: WorkItem, record: RunRecord) -> None:
+            self.simulations += 1
+            self._cache[item.key] = record
+            if self.cache is not None:
+                self.cache.put(item.key, record)
+            if self.journal is not None:
+                status = "ok" if item.attempts <= 1 else "retried"
+                self.journal.record(item.key, status,
+                                    workload=item.workload,
+                                    policy=item.policy,
+                                    attempts=item.attempts)
+
+        self.report = execute_supervised(
+            items, simulate_point, self.jobs, self.retry_policy, on_success,
+        )
+        for outcome in self.report.failed:
+            self.failed_points[outcome.key] = (outcome.workload,
+                                               outcome.policy)
+            if self.journal is not None:
+                self.journal.record(outcome.key, outcome.status,
+                                    workload=outcome.workload,
+                                    policy=outcome.policy,
+                                    attempts=outcome.attempts)
+        if self.report.failed and not self.keep_going:
+            names = ", ".join(
+                f"{o.workload}/{o.policy} ({o.status} after "
+                f"{o.attempts} attempt(s))"
+                for o in self.report.failed
+            )
+            raise HarnessError(
+                f"{len(self.report.failed)} grid point(s) failed permanently "
+                f"after supervision: {names} — rerun with --keep-going to "
+                f"render a partial table around them"
+            )
+        return sum(1 for o in self.report.outcomes
+                   if o.status in ("ok", "retried"))
+
+    def run(self, workload_name, policy_name, config=None,
+            use_compiler_info=True) -> RunRecord:
+        if self.failed_points and self.keep_going:
+            key = self.run_key_for(workload_name, policy_name,
+                                   config or self.config, use_compiler_info)
+            if key in self.failed_points:
+                return failed_run_record(workload_name, policy_name)
+        return super().run(workload_name, policy_name, config=config,
+                           use_compiler_info=use_compiler_info)
 
 
 # --------------------------------------------------------------------- grids
@@ -223,20 +306,56 @@ def run_experiments(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     verbose: bool = False,
+    retry_policy: RetryPolicy | None = None,
+    keep_going: bool = False,
+    resume: bool = False,
+    journal_path: str | None = None,
+    with_report: bool = False,
 ):
     """Run experiments with shared, parallel-prefetched simulations.
 
-    Returns ``{experiment_id: ExperimentResult}``.  All experiments share
-    one result store, so points common to several figures simulate once.
+    Returns ``{experiment_id: ExperimentResult}`` (or, with
+    ``with_report=True``, a ``(results, ResilienceReport)`` pair).  All
+    experiments share one result store, so points common to several
+    figures simulate once.
+
+    ``resume`` requires a persistent ``cache`` — the journal can only say
+    *which* points finished; their records live in the cache.  The
+    journal path defaults to a grid-content-derived file under the cache
+    root, so re-invoking the same figure set finds its own manifest.
+    With ``keep_going``, experiments touching permanently failed points
+    render partial tables with explicit holes instead of raising.
     """
     import inspect
 
     from .experiments import EXPERIMENTS
+    from .resilience import failed_experiment_result, scrub_holes
 
     store: dict[str, RunRecord] = {}
+    planner = ParallelRunner(scale=scale, jobs=jobs, cache=cache,
+                             verbose=verbose, store=store)
+    grid = plan_experiment_grid(experiment_ids, planner)
+    journal = None
+    if journal_path is not None or resume:
+        if cache is None:
+            raise HarnessError(
+                "--resume needs the persistent cache (--cache): the journal "
+                "records which points finished, the cache holds their results"
+            )
+        if journal_path is None:
+            keys = [
+                planner.run_key_for(p.workload, p.policy,
+                                    p.config or planner.config,
+                                    p.use_compiler_info)
+                for p in grid
+            ]
+            journal_path = journal_path_for(cache.root, keys, scale)
+        journal = RunJournal(journal_path)
     runner = ParallelRunner(scale=scale, jobs=jobs, cache=cache,
-                            verbose=verbose, store=store)
-    runner.prefetch(plan_experiment_grid(experiment_ids, runner))
+                            verbose=verbose, store=store,
+                            retry_policy=retry_policy, keep_going=keep_going,
+                            journal=journal, resume=resume)
+    runner.prefetch(grid)
 
     results = {}
     for experiment_id in experiment_ids:
@@ -251,6 +370,22 @@ def run_experiments(
             kwargs["runner_factory"] = lambda config: ParallelRunner(
                 scale=scale, config=config, jobs=jobs, cache=cache,
                 verbose=verbose, store=store,
+                retry_policy=retry_policy, keep_going=keep_going,
             )
-        results[experiment_id] = module.run(**kwargs)
+        try:
+            result = module.run(**kwargs)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            result = failed_experiment_result(experiment_id, exc)
+        if keep_going and runner.failed_points:
+            holes = scrub_holes(result.rows)
+            if holes:
+                result.notes = (result.notes + "\n" if result.notes else "") + (
+                    f"PARTIAL: {holes} cell(s) depend on failed grid points "
+                    f"(rendered as holes); see the resilience report"
+                )
+        results[experiment_id] = result
+    if with_report:
+        return results, runner.report
     return results

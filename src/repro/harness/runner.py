@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..errors import AnalysisError, SimulationError
+from ..faults import maybe_fault
 from ..secure import make_policy
 from ..uarch import CoreConfig, OooCore, SimResult
 from ..uarch.stats import CoreStats
@@ -159,6 +160,9 @@ class ExperimentRunner:
                 if record is not None:
                     self._cache[key] = record
                     return record
+        # Chaos hook: with a fault plan active, a worker-site fault
+        # (crash/hang/kill) fires here — exactly where a real one would.
+        maybe_fault("worker", key)
         workload = self.workload(workload_name)
         program = workload.assemble()
         core = OooCore(

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from ..asm.program import STACK_TOP, Program
 from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
 from ..compiler.pass_manager import ensure_analysis
-from ..errors import SimulationError, TimeoutError_
+from ..errors import SimulationError, SimulationTimeout
 from ..functional import semantics
 from ..isa import INSTRUCTION_BYTES, NUM_REGS, Opcode, to_unsigned
 from ..mem.backing import SparseMemory
@@ -182,7 +182,7 @@ class OooCore:
         limit = max_cycles or self.config.max_cycles
         while not self._done:
             if self._cycle >= limit:
-                raise TimeoutError_(
+                raise SimulationTimeout(
                     f"OoO run exceeded {limit} cycles "
                     f"(committed {self.stats.committed})"
                 )
