@@ -10,6 +10,8 @@ Subcommands::
     repro experiment ID... [--scale S] [--jobs N] [--cache]
     repro attack NAME [--policy P] [--secret N]
     repro pipeline FILE.s [--policy P]   # per-instruction timeline view
+    repro profile TARGET [--policy P] [--sort cumtime] [--json]
+                                         # cProfile + cycle attribution
     repro report [--scale S]             # fold bench artifacts into EXPERIMENTS.md
     repro suite                          # list workloads
     repro cache {info,verify,repair,clear}   # persistent run-result cache
@@ -59,14 +61,14 @@ def _load_source(path: str):
         return assemble(f.read(), name=path)
 
 
-def _resolve_program(target: str):
+def _resolve_program(target: str, scale: str = "test"):
     """A lint/analyze target: assembly file, workload name, or attack name."""
     import os
 
     if os.path.exists(target):
         return _load_source(target)
     if target in WORKLOAD_NAMES:
-        return build_workload(target, scale="test").assemble()
+        return build_workload(target, scale=scale).assemble()
     if target in ATTACKS:
         return ATTACKS[target]()
     raise ReproError(
@@ -388,6 +390,27 @@ def cmd_pipeline(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from .profiling import profile_run, render_profile
+
+    program = _resolve_program(args.target, scale=args.scale)
+    report = profile_run(
+        program,
+        policy_name=args.policy,
+        sort=args.sort,
+        top=args.top,
+        max_cycles=args.limit,
+        cycle_skip=False if args.no_cycle_skip else None,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_profile(report))
+    return 0
+
+
 def cmd_report(args) -> int:
     from .harness.report import update_experiments_md
 
@@ -540,6 +563,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=0)
     p.add_argument("--count", type=int, default=32)
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile one simulator run: cProfile hot paths + per-stage "
+        "cycle attribution + event-horizon diagnostics",
+    )
+    p.add_argument("target", metavar="TARGET",
+                   help="assembly file, workload name, or attack name")
+    p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES)
+    p.add_argument("--scale", default="test", choices=("test", "ref"))
+    p.add_argument("--sort", default="cumtime",
+                   choices=("cumtime", "tottime", "ncalls"))
+    p.add_argument("--top", type=int, default=25, metavar="N",
+                   help="number of functions to report (default: 25)")
+    p.add_argument("--limit", type=int, default=None, metavar="CYCLES",
+                   help="cycle budget for the profiled run")
+    p.add_argument("--no-cycle-skip", action="store_true",
+                   help="profile the reference stepped loop instead of the "
+                   "event-horizon fast path")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("report", help="fold benchmark artifacts into EXPERIMENTS.md")
     p.add_argument("--experiments", default="EXPERIMENTS.md")

@@ -50,7 +50,29 @@ class MemoryFault(SimulationError):
 
 
 class SimulationTimeout(SimulationError):
-    """The simulation exceeded its instruction or cycle budget."""
+    """The simulation exceeded its instruction or cycle budget.
+
+    Carries structured triage context so hung-workload reports (and the
+    harness ``--timeout`` resilience path) can say *where* the run was
+    stuck, not just that it was: the cycle ``limit`` that was hit, the
+    ``committed`` instruction count at that point, and the current fetch
+    ``pc``.  All are optional keywords — the rendered message is the only
+    required state, which keeps the exception picklable across worker
+    processes on the default (args-based) reduce path.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: int | None = None,
+        committed: int | None = None,
+        pc: int | None = None,
+    ):
+        self.limit = limit
+        self.committed = committed
+        self.pc = pc
+        super().__init__(message)
 
 
 #: Deprecated alias of :class:`SimulationTimeout`; kept so existing callers

@@ -2,8 +2,10 @@
 
 from .config import CoreConfig
 from .core import OooCore, SimResult
+from .decoded import DecodedProgram, decoded_image
 from .dyninst import Checkpoint, DynInst, Stage
 from .energy import EnergyBreakdown, EnergyParams, energy_delay_product, estimate_energy
+from .horizon import WarpStats, warp_to_horizon
 from .stats import CoreStats
 from .trace import gate_summary, render_timeline
 
@@ -11,14 +13,18 @@ __all__ = [
     "Checkpoint",
     "CoreConfig",
     "CoreStats",
+    "DecodedProgram",
     "DynInst",
     "EnergyBreakdown",
     "EnergyParams",
     "OooCore",
     "SimResult",
     "Stage",
+    "WarpStats",
+    "decoded_image",
     "energy_delay_product",
     "estimate_energy",
     "gate_summary",
     "render_timeline",
+    "warp_to_horizon",
 ]

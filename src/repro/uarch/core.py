@@ -19,12 +19,12 @@ wake a consumer that issues at C (1-cycle back-to-back bypass).
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..asm.program import STACK_TOP, Program
 from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
-from ..compiler.pass_manager import ensure_analysis
 from ..errors import SimulationError, SimulationTimeout
 from ..functional import semantics
 from ..isa import INSTRUCTION_BYTES, NUM_REGS, Opcode, to_unsigned
@@ -33,10 +33,16 @@ from ..mem.hierarchy import MemoryHierarchy
 from ..secure.baselines import NoProtection
 from ..secure.policy import SpeculationPolicy
 from .config import CoreConfig
+from .decoded import K_BRANCH, K_JAL, K_JALR, K_SEQ, decoded_image
 from .dyninst import Checkpoint, DynInst, Stage
+from .horizon import WATCHDOG_CYCLES as _WATCHDOG_CYCLES
+from .horizon import WarpStats, warp_to_horizon
 from .stats import CoreStats
 
-_WATCHDOG_CYCLES = 100_000  # no-commit window before declaring deadlock
+#: Upper bound on the DynInst free list: enough to cover the ROB + fetch
+#: queue + retire FIFO of any realistic configuration without letting a
+#: pathological one hoard memory.
+_DYN_POOL_MAX = 1024
 
 EMPTY_DEPS: frozenset[int] = frozenset()
 
@@ -80,6 +86,8 @@ class OooCore:
         record_trace: bool = False,
         record_pipeline: bool = False,
         use_compiler_info: bool = True,
+        cycle_skip: bool | None = None,
+        recycle_dyninsts: bool | None = None,
     ):
         self.program = program
         self.config = config or CoreConfig()
@@ -88,14 +96,36 @@ class OooCore:
         self.record_pipeline = record_pipeline
         self.retired: list[DynInst] = []
 
-        # Compiler metadata (Levioso's software half). Always computed: the
-        # tracker is part of the hardware model; policies decide whether to
-        # use it. `use_compiler_info=False` models shipping no metadata.
-        analysis = ensure_analysis(program)
-        if use_compiler_info:
-            self._reconv_of = dict(analysis.reconv_pc)
-        else:
-            self._reconv_of = {pc: None for pc in analysis.reconv_pc}
+        # Pre-decoded program image: per-instruction decode (control-flow
+        # kind, FU port/latency, reconvergence PC from the compiler pass —
+        # Levioso's software half) happens once per program, content-
+        # addressed and shared across cores and grid points, instead of
+        # per fetched DynInst.  `use_compiler_info=False` models shipping
+        # no metadata; it is masked at fetch rather than baked into the
+        # image so both arms of the compiler ablation share one decode.
+        self._decoded = decoded_image(program, self.config)
+        self._use_compiler_info = use_compiler_info
+
+        # Performance-mode knobs.  Both default on and both are required
+        # to be *bit-invisible*: simulated results are identical with them
+        # off (REPRO_NO_CYCLE_SKIP=1 / REPRO_NO_DYN_POOL=1 force the
+        # reference paths, which is what the equivalence suite compares
+        # against).
+        if cycle_skip is None:
+            cycle_skip = os.environ.get("REPRO_NO_CYCLE_SKIP") != "1"
+        self._cycle_skip = cycle_skip
+        if recycle_dyninsts is None:
+            recycle_dyninsts = os.environ.get("REPRO_NO_DYN_POOL") != "1"
+        # record_pipeline keeps every retired DynInst alive for timeline
+        # inspection — exactly what recycling would overwrite.
+        self._recycle = recycle_dyninsts and not record_pipeline
+        self._dyn_pool: list[DynInst] = []
+        # Committed records awaiting reclamation: (barrier_seq, dyn) where
+        # barrier_seq is the fetch frontier at commit time.  Once every
+        # instruction fetched before the commit has drained, nothing live
+        # can reference the record and it may be recycled.
+        self._retire_fifo: deque[tuple[int, DynInst]] = deque()
+        self.warp_stats = WarpStats()
 
         # Architectural state
         self.arf = [0] * NUM_REGS
@@ -139,6 +169,7 @@ class OooCore:
         self.inflight_fences: set[int] = set()
 
         self.hierarchy = MemoryHierarchy(self.config.mem)
+        self._line_bits = self.hierarchy.l1i.line_bits
         self.stats = CoreStats()
         self.committed_pcs: list[int] = []
 
@@ -150,21 +181,9 @@ class OooCore:
         # re-evaluated only when something that can change a gate decision
         # happened (completion, commit, squash, a cache fill) — gate
         # predicates are pure functions of that state, so skipping quiet
-        # cycles is safe and makes long stalls cheap to simulate.
-        # Opcode -> (port, latency), resolved once per core instead of per
-        # issued instruction.
-        cfg = self.config
-        self._fu_map: dict[Opcode, tuple[str, int]] = {}
-        for op in Opcode:
-            if op in (Opcode.MUL, Opcode.MULH):
-                self._fu_map[op] = ("mul", cfg.mul_latency)
-            elif op in (Opcode.DIV, Opcode.REM):
-                self._fu_map[op] = ("div", cfg.div_latency)
-            elif op.is_branch or op is Opcode.JALR:
-                self._fu_map[op] = ("alu", cfg.branch_latency)
-            else:
-                self._fu_map[op] = ("alu", cfg.alu_latency)
-
+        # cycles is safe and makes long stalls cheap to simulate.  The
+        # event-horizon engine (.horizon) relies on exactly this invariant
+        # to warp over quiet stretches entirely.
         self._retry_event = True
         # Min-heap over unresolved branch seqs with lazy deletion: resolved/
         # squashed seqs stay in the heap until they surface at the top, so
@@ -180,18 +199,38 @@ class OooCore:
     def run(self, max_cycles: int | None = None) -> SimResult:
         """Run to HALT; returns the result bundle."""
         limit = max_cycles or self.config.max_cycles
+        cycle_skip = self._cycle_skip
         while not self._done:
-            if self._cycle >= limit:
+            cycle = self._cycle
+            if cycle >= limit:
+                head = self.rob[0] if self.rob else None
                 raise SimulationTimeout(
                     f"OoO run exceeded {limit} cycles "
-                    f"(committed {self.stats.committed})"
+                    f"(committed {self.stats.committed}, fetch pc "
+                    f"{self.fetch_pc:#x}, rob head {head})",
+                    limit=limit,
+                    committed=self.stats.committed,
+                    pc=self.fetch_pc,
                 )
-            if self._cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+            if cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
                 raise SimulationError(
                     f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
-                    f"{self._cycle}: likely scheduler deadlock "
+                    f"{cycle}: likely scheduler deadlock "
                     f"(rob head: {self.rob[0] if self.rob else None})"
                 )
+            # Event-horizon engine: when this cycle is provably quiet, warp
+            # straight to the next cycle anything can change, then re-check
+            # the limit/watchdog guards at the warped cycle (the warp clamps
+            # at both, so they fire exactly as in the stepped run).  The
+            # retry/ready pre-check is inlined so busy cycles pay two
+            # attribute reads instead of a call.
+            if (
+                cycle_skip
+                and not self._retry_event
+                and not self.ready
+                and warp_to_horizon(self, limit)
+            ):
+                continue
             self.step()
         self.stats.cycles = self._cycle
         return SimResult(
@@ -206,11 +245,19 @@ class OooCore:
     def step(self) -> None:
         """Advance one cycle."""
         cycle = self._cycle
-        self._process_completions(cycle)
-        self._commit(cycle)
+        # The stage calls' own early-return guards are replicated inline:
+        # they have no side effects, and skipping the call entirely keeps
+        # idle stages off the per-cycle hot path.
+        completions = self.completions
+        if completions and completions[0][0] <= cycle:
+            self._process_completions(cycle)
+        rob = self.rob
+        if rob and rob[0].stage is Stage.COMPLETED:
+            self._commit(cycle)
         if not self._done:
             self._issue(cycle)
-            self._dispatch(cycle)
+            if self.fetch_queue:
+                self._dispatch(cycle)
             self._fetch(cycle)
         self._cycle = cycle + 1
 
@@ -259,102 +306,158 @@ class OooCore:
             self.stats.fetch_stall_cycles += 1
             return
         fetch_queue = self.fetch_queue
-        try_inst_at = self.program.try_inst_at
-        line_bits = self.hierarchy.l1i.line_bits
         fq_cap = self.config.fetch_queue_size
+        if len(fetch_queue) >= fq_cap:
+            return
+        by_pc = self._decoded.by_pc
+        line_bits = self._line_bits
         budget = self.config.fetch_width
-        while budget > 0 and len(fetch_queue) < fq_cap:
-            fetch_pc = self.fetch_pc
-            inst = try_inst_at(fetch_pc)
-            if inst is None:
-                self.fetch_wild = True  # wrong path off the text segment
-                return
-            line = fetch_pc >> line_bits
-            if line != self._last_fetch_line:
-                ready = self.hierarchy.fetch(fetch_pc, cycle)
-                self._last_fetch_line = line
-                if ready > cycle:
-                    # L1I miss: the packet ends; resume when the line fills.
-                    self._fetch_resume_cycle = ready
+        use_compiler_info = self._use_compiler_info
+        stats = self.stats
+        dyn_pool = self._dyn_pool
+        # pc and the last-fetched line live in locals for the whole packet;
+        # the finally block is the single write-back point for every exit.
+        pc = self.fetch_pc
+        last_line = self._last_fetch_line
+        try:
+            while budget > 0 and len(fetch_queue) < fq_cap:
+                dec = by_pc.get(pc)
+                if dec is None:
+                    self.fetch_wild = True  # wrong path off the text segment
                     return
-            dyn = DynInst(seq=self._next_seq, inst=inst, fetch_cycle=cycle)
-            self._next_seq += 1
-            self.stats.fetched += 1
-            budget -= 1
+                line = pc >> line_bits
+                if line != last_line:
+                    ready = self.hierarchy.fetch(pc, cycle)
+                    last_line = line
+                    if ready > cycle:
+                        # L1I miss: the packet ends; resume when the line
+                        # fills.
+                        self._fetch_resume_cycle = ready
+                        return
+                seq = self._next_seq
+                self._next_seq = seq + 1
+                if dyn_pool:
+                    dyn = dyn_pool.pop()
+                    dyn.reset(seq, dec, cycle)
+                else:
+                    dyn = self._alloc_dyn_slow(seq, dec, cycle)
+                stats.fetched += 1
+                budget -= 1
 
-            # Reconvergence tracker: reaching a branch's reconvergence PC
-            # ends its control region (a closed region can never reopen, so
-            # it leaves the live list); then tag with the remaining ones.
-            regions = self.active_regions
-            if regions:
-                pc = inst.pc
-                for r in regions:
-                    if r[1] == pc:
-                        self.active_regions = regions = [
-                            entry for entry in regions if entry[1] != pc
-                        ]
-                        self._live_deps = None
-                        break
+                # Reconvergence tracker: reaching a branch's reconvergence
+                # PC ends its control region (a closed region can never
+                # reopen, so it leaves the live list); then tag with the
+                # remaining ones.
+                regions = self.active_regions
                 if regions:
-                    deps = self._live_deps
-                    if deps is None:
-                        deps = self._live_deps = frozenset(
-                            r[0] for r in regions if r[2]
-                        )
-                    dyn.control_deps = deps
+                    for r in regions:
+                        if r[1] == pc:
+                            self.active_regions = regions = [
+                                entry for entry in regions if entry[1] != pc
+                            ]
+                            self._live_deps = None
+                            break
+                    if regions:
+                        deps = self._live_deps
+                        if deps is None:
+                            deps = self._live_deps = frozenset(
+                                r[0] for r in regions if r[2]
+                            )
+                        dyn.control_deps = deps
 
-            fetch_queue.append(dyn)
-            opcode = inst.opcode
+                fetch_queue.append(dyn)
+                kind = dec.kind
 
-            if opcode.is_branch:
-                taken, ctx = self.predictor.predict(inst.pc)
-                dyn.predicted_taken = taken
-                dyn.predicted_target = (
-                    inst.branch_target if taken else inst.fallthrough
-                )
-                dyn.predictor_context = ctx
-                dyn.checkpoint = self._front_checkpoint(dyn)
-                self.predictor.on_speculative_branch(inst.pc, taken)
-                self.active_regions.append(
-                    [dyn.seq, self._reconv_of.get(inst.pc), True]
-                )
-                self._live_deps = None
-                self.fetch_pc = dyn.predicted_target
-                if taken:
-                    return  # taken branches end the fetch packet
-                continue
+                if kind == K_SEQ:
+                    pc = dec.fallthrough
+                    continue
 
-            if opcode is Opcode.JAL:
-                if inst.rd != 0:
-                    self.ras.push(inst.fallthrough)
-                self.fetch_pc = inst.imm
-                return  # taken control ends the packet
+                inst = dec.inst
+                if kind == K_BRANCH:
+                    taken, ctx = self.predictor.predict(pc)
+                    dyn.predicted_taken = taken
+                    target = inst.branch_target if taken else dec.fallthrough
+                    dyn.predicted_target = target
+                    dyn.predictor_context = ctx
+                    dyn.checkpoint = self._front_checkpoint(dyn)
+                    self.predictor.on_speculative_branch(pc, taken)
+                    self.active_regions.append(
+                        [
+                            dyn.seq,
+                            dec.reconv_pc if use_compiler_info else None,
+                            True,
+                        ]
+                    )
+                    self._live_deps = None
+                    pc = target
+                    if taken:
+                        return  # taken branches end the fetch packet
+                    continue
 
-            if opcode is Opcode.JALR:
-                predicted = self._predict_jalr(inst)
-                if inst.rd != 0:
-                    self.ras.push(inst.fallthrough)  # indirect call
-                if predicted is None:
-                    self.fetch_stalled_on = dyn
+                if kind == K_JAL:
+                    if inst.rd != 0:
+                        self.ras.push(dec.fallthrough)
+                    pc = inst.imm
+                    return  # taken control ends the packet
+
+                if kind == K_JALR:
+                    if dec.is_return:  # jalr x0, ra, 0
+                        predicted = self.ras.pop()
+                    else:
+                        predicted = self.btb.lookup(pc)
+                    if inst.rd != 0:
+                        self.ras.push(dec.fallthrough)  # indirect call
+                    if predicted is None:
+                        self.fetch_stalled_on = dyn
+                        return
+                    dyn.predicted_target = predicted
+                    dyn.checkpoint = self._front_checkpoint(dyn)
+                    self.active_regions.append([dyn.seq, None, True])
+                    self._live_deps = None
+                    pc = predicted
                     return
-                dyn.predicted_target = predicted
-                dyn.checkpoint = self._front_checkpoint(dyn)
-                self.active_regions.append([dyn.seq, None, True])
-                self._live_deps = None
-                self.fetch_pc = predicted
-                return
 
-            if opcode is Opcode.HALT:
+                # K_HALT
                 self.halt_fetched = True
                 return
+        finally:
+            self.fetch_pc = pc
+            self._last_fetch_line = last_line
 
-            self.fetch_pc = inst.fallthrough
+    def _alloc_dyn_slow(self, seq: int, dec, cycle: int) -> DynInst:
+        """Allocation slow path: replenish the free list, else construct.
 
-    def _predict_jalr(self, inst) -> int | None:
-        is_return = inst.rs1 == 1 and inst.rd == 0  # jalr x0, ra, 0
-        if is_return:
-            return self.ras.pop()
-        return self.btb.lookup(inst.pc)
+        (The fast path — pop from a non-empty pool — is inlined in
+        :meth:`_fetch`.)  A committed record becomes recyclable once every
+        instruction fetched before its commit has itself left the window
+        (committed or squashed): after that, no live producer link,
+        store-forward link, or checkpointed rename map can reference it
+        (squash-restore nulls out committed producers, see
+        :meth:`_squash_after`).  Squashed records are never recycled — they
+        linger in the lazily-deleted ready/completion heaps, whose
+        staleness checks rely on their state staying frozen.  Sweeping only
+        when the pool runs dry is safe: the barrier condition is monotonic.
+        """
+        if self._recycle:
+            fifo = self._retire_fifo
+            if fifo:
+                rob = self.rob
+                if rob:
+                    min_live = rob[0].seq
+                elif self.fetch_queue:
+                    min_live = self.fetch_queue[0].seq
+                else:
+                    min_live = seq
+                pool = self._dyn_pool
+                while fifo and fifo[0][0] <= min_live:
+                    dyn = fifo.popleft()[1]
+                    if len(pool) < _DYN_POOL_MAX:
+                        pool.append(dyn)
+                if pool:
+                    dyn = pool.pop()
+                    dyn.reset(seq, dec, cycle)
+                    return dyn
+        return DynInst(seq=seq, inst=dec.inst, fetch_cycle=cycle, dec=dec)
 
     def _front_checkpoint(self, dyn: DynInst) -> Checkpoint:
         """Front-end snapshot; the rename map is added at dispatch."""
@@ -379,37 +482,44 @@ class OooCore:
         frontend_latency = cfg.frontend_latency
         rob_size = cfg.rob_size
         iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
         width = cfg.dispatch_width
+        # Occupancy counters live in locals for the loop; written back below.
+        iq_count = self.iq_count
+        lq_count = self.lq_count
+        sq_count = self.sq_count
         while width > 0 and fetch_queue:
             dyn = fetch_queue[0]
             if dyn.fetch_cycle + frontend_latency > cycle:
-                return
+                break
             if len(rob) >= rob_size:
                 stats.rob_full_stalls += 1
-                return
+                break
             opcode = dyn.opcode
-            needs_iq = opcode is not Opcode.HALT
-            if needs_iq and self.iq_count >= iq_size:
+            is_load = opcode.is_load
+            is_store = opcode.is_store
+            if opcode is not Opcode.HALT and iq_count >= iq_size:
                 stats.iq_full_stalls += 1
-                return
-            if opcode.is_load and self.lq_count >= cfg.lq_size:
+                break
+            if is_load and lq_count >= lq_size:
                 stats.lsq_full_stalls += 1
-                return
-            if opcode.is_store and self.sq_count >= cfg.sq_size:
+                break
+            if is_store and sq_count >= sq_size:
                 stats.lsq_full_stalls += 1
-                return
+                break
 
             fetch_queue.popleft()
             width -= 1
             dyn.stage = Stage.DISPATCHED
             dyn.dispatch_cycle = cycle
             self._rename(dyn)
-            self.rob.append(dyn)
+            rob.append(dyn)
 
             if dyn.checkpoint is not None:
                 dyn.checkpoint.rename_map = list(self.rename_map)
             if dyn.inst.is_branch or (
-                dyn.opcode is Opcode.JALR and dyn.predicted_target is not None
+                opcode is Opcode.JALR and dyn.predicted_target is not None
             ):
                 self.unresolved_ctrl.add(dyn.seq)
                 heapq.heappush(self._unresolved_heap, dyn.seq)
@@ -420,17 +530,20 @@ class OooCore:
                 dyn.propagated = True
                 continue
 
-            self.iq_count += 1
+            iq_count += 1
             if opcode is Opcode.FENCE:
                 self.inflight_fences.add(dyn.seq)
-            if opcode.is_load:
-                self.lq_count += 1
+            if is_load:
+                lq_count += 1
                 self.inflight_loads[dyn.seq] = dyn
-            elif opcode.is_store:
-                self.sq_count += 1
+            elif is_store:
+                sq_count += 1
                 self.store_queue.append(dyn)
             if dyn.waiting_on == 0:
                 heapq.heappush(self.ready, (dyn.seq, dyn))
+        self.iq_count = iq_count
+        self.lq_count = lq_count
+        self.sq_count = sq_count
 
     def _rename(self, dyn: DynInst) -> None:
         inst = dyn.inst
@@ -462,16 +575,18 @@ class OooCore:
 
     # ----------------------------------------------------------------- issue
     def _issue(self, cycle: int) -> None:
-        budget = self.config.issue_width
-        ports = {
-            "alu": self.config.alu_ports,
-            "mul": self.config.mul_ports,
-            "div": self.config.div_ports,
-            "mem": self.config.mem_ports,
-        }
-
         retry = self._retry_event
         self._retry_event = False
+        if not retry and not self.ready and not self.serialize_wait:
+            return  # nothing schedulable this cycle (pending work is
+            # event-driven: it is only re-examined after a retry event)
+
+        cfg = self.config
+        budget = cfg.issue_width
+        alu_ports = cfg.alu_ports
+        mul_ports = cfg.mul_ports
+        div_ports = cfg.div_ports
+        mem_ports = cfg.mem_ports
 
         # Release NDA-deferred values whose loads became safe.
         if self.deferred_values and retry:
@@ -492,14 +607,14 @@ class OooCore:
             for dyn in self.pending_loads:
                 if dyn.squashed:
                     continue
-                if budget <= 0 or ports["mem"] <= 0:
+                if budget <= 0 or mem_ports <= 0:
                     still_blocked.append(dyn)
                     self._retry_event = True  # resource block: retry next cycle
                     continue
                 issued = self._try_issue_mem(dyn, cycle)
                 if issued:
                     budget -= 1
-                    ports["mem"] -= 1
+                    mem_ports -= 1
                 else:
                     still_blocked.append(dyn)
             self.pending_loads = still_blocked
@@ -511,14 +626,14 @@ class OooCore:
             for dyn in self.pending_ctrl:
                 if dyn.squashed:
                     continue
-                if budget <= 0 or ports["alu"] <= 0:
+                if budget <= 0 or alu_ports <= 0:
                     still_gated.append(dyn)
                     self._retry_event = True  # resource block: retry next cycle
                     continue
                 if self.policy.checked_may_issue_branch(dyn, self):
                     self._execute_alu(dyn, cycle, self.config.branch_latency)
                     budget -= 1
-                    ports["alu"] -= 1
+                    alu_ports -= 1
                 else:
                     self._note_branch_gated(dyn, cycle)
                     still_gated.append(dyn)
@@ -532,14 +647,14 @@ class OooCore:
                     continue
                 if (
                     budget > 0
-                    and ports["alu"] > 0
+                    and alu_ports > 0
                     and self.rob
                     and self.rob[0] is dyn
                 ):
-                    self._schedule(dyn, cycle, self.config.alu_latency)
+                    self._schedule(dyn, cycle, cfg.alu_latency)
                     dyn.result = cycle
                     budget -= 1
-                    ports["alu"] -= 1
+                    alu_ports -= 1
                 else:
                     remaining.append(dyn)
             self.serialize_wait = remaining
@@ -552,23 +667,23 @@ class OooCore:
             opcode = dyn.opcode
 
             if opcode in (Opcode.RDCYCLE, Opcode.FENCE):
-                if self.rob and self.rob[0] is dyn and ports["alu"] > 0:
-                    self._schedule(dyn, cycle, self.config.alu_latency)
+                if self.rob and self.rob[0] is dyn and alu_ports > 0:
+                    self._schedule(dyn, cycle, cfg.alu_latency)
                     dyn.result = cycle
                     budget -= 1
-                    ports["alu"] -= 1
+                    alu_ports -= 1
                 else:
                     self.serialize_wait.append(dyn)
                 continue
 
             if opcode.is_mem:
-                if ports["mem"] <= 0:
+                if mem_ports <= 0:
                     overflow.append((dyn.seq, dyn))
                     continue
                 issued = self._try_issue_mem(dyn, cycle)
                 if issued:
                     budget -= 1
-                    ports["mem"] -= 1
+                    mem_ports -= 1
                 else:
                     self.pending_loads.append(dyn)
                 continue
@@ -579,13 +694,25 @@ class OooCore:
                     self.pending_ctrl.append(dyn)
                     continue
 
-            port, latency = self._fu_map[opcode]
-            if ports[port] <= 0:
-                overflow.append((dyn.seq, dyn))
-                continue
-            ports[port] -= 1
+            dec = dyn.dec  # FU port/latency pre-resolved at decode
+            port = dec.port
+            if port == "alu":
+                if alu_ports <= 0:
+                    overflow.append((dyn.seq, dyn))
+                    continue
+                alu_ports -= 1
+            elif port == "mul":
+                if mul_ports <= 0:
+                    overflow.append((dyn.seq, dyn))
+                    continue
+                mul_ports -= 1
+            else:  # div
+                if div_ports <= 0:
+                    overflow.append((dyn.seq, dyn))
+                    continue
+                div_ports -= 1
             budget -= 1
-            self._execute_alu(dyn, cycle, latency)
+            self._execute_alu(dyn, cycle, dec.latency)
 
         for entry in overflow:
             heapq.heappush(self.ready, entry)
@@ -598,9 +725,6 @@ class OooCore:
         dyn.gated_cycles += 1
         self.stats.branch_gate_cycles += 1
         self.policy.stats.branch_gate_cycles += 1
-
-    def _fu_of(self, opcode: Opcode) -> tuple[str, int]:
-        return self._fu_map[opcode]
 
     def _execute_alu(self, dyn: DynInst, cycle: int, latency: int) -> None:
         inst = dyn.inst
@@ -842,11 +966,21 @@ class OooCore:
                 f"mispredicted {dyn} carries no checkpoint"
             )
         self.rename_map = list(checkpoint.rename_map)
-        # Drop squashed producers that survived in the restored map: a map
-        # snapshot taken at the branch's dispatch can only reference older
-        # instructions, so this is a defensive sweep.
+        # Drop producers that have left the window from the restored map.
+        # Squashed ones are a defensive sweep (a snapshot taken at the
+        # branch's dispatch can only reference older instructions).
+        # Committed ones are nulled because a committed producer is
+        # indistinguishable from reading the ARF: the snapshot maps each
+        # register to its youngest older-than-branch writer, so by commit
+        # order that writer's result/taint is exactly what the ARF holds,
+        # and its already-pruned lineage sets only ever contained seqs that
+        # resolved/retired before it committed (inert in every membership
+        # query).  This is also what lets the free-list recycle committed
+        # records without a restored checkpoint resurrecting them.
         for i, producer in enumerate(self.rename_map):
-            if producer is not None and producer.squashed:
+            if producer is not None and (
+                producer.squashed or producer.stage is Stage.COMMITTED
+            ):
                 self.rename_map[i] = None
         self.ras.restore(checkpoint.ras)
         self.predictor.history_restore(checkpoint.history)
@@ -870,8 +1004,10 @@ class OooCore:
     # ----------------------------------------------------------------- commit
     def _commit(self, cycle: int) -> None:
         width = self.config.commit_width
-        while width > 0 and self.rob:
-            dyn = self.rob[0]
+        rob = self.rob
+        stats = self.stats
+        while width > 0 and rob:
+            dyn = rob[0]
             if dyn.stage is not Stage.COMPLETED:
                 return
             if not dyn.propagated:
@@ -884,13 +1020,13 @@ class OooCore:
                     ]
                 else:
                     return
-            self.rob.popleft()
+            rob.popleft()
             width -= 1
             self._retry_event = True
             dyn.stage = Stage.COMMITTED
             dyn.commit_cycle = cycle
             self._last_commit_cycle = cycle
-            self.stats.committed += 1
+            stats.committed += 1
             if self.record_trace:
                 self.committed_pcs.append(dyn.pc)
             if self.record_pipeline:
@@ -910,16 +1046,16 @@ class OooCore:
                 else:  # pragma: no cover - defensive
                     self.store_queue.remove(dyn)
                 self.sq_count -= 1
-                self.stats.committed_stores += 1
+                stats.committed_stores += 1
             elif opcode.is_load:
                 if opcode is Opcode.CFLUSH:
                     self.hierarchy.flush_address(dyn.mem_address)
                 else:
-                    self.stats.committed_loads += 1
+                    stats.committed_loads += 1
                 self.inflight_loads.pop(dyn.seq, None)
                 self.lq_count -= 1
             elif opcode.is_branch:
-                self.stats.committed_branches += 1
+                stats.committed_branches += 1
             elif opcode is Opcode.FENCE:
                 self.inflight_fences.discard(dyn.seq)
 
@@ -929,3 +1065,7 @@ class OooCore:
                 self.arf_taint[dest] = dyn.out_tainted
                 if self.rename_map[dest] is dyn:
                     self.rename_map[dest] = None
+
+            if self._recycle:
+                # Reclaimable once everything fetched so far has drained.
+                self._retire_fifo.append((self._next_seq, dyn))

@@ -61,6 +61,9 @@ class DynInst:
     inst: Instruction
     fetch_cycle: int
     stage: Stage = Stage.FETCHED
+    # Pre-decoded static facts (a repro.uarch.decoded.DecodedInst); None for
+    # unit-test DynInsts built outside a core's fetch stage.
+    dec: object = None
 
     # Materialized from ``inst`` in __post_init__ (hot-path shorthand).
     opcode: Opcode = field(init=False)
@@ -114,6 +117,54 @@ class DynInst:
     def __post_init__(self) -> None:
         self.opcode = self.inst.opcode
         self.pc = self.inst.pc
+
+    def reset(self, seq: int, dec, fetch_cycle: int) -> None:
+        """Reinitialize a recycled record (free-list pool fast path).
+
+        Must restore *every* field to its construction default: the pool
+        only recycles committed instructions whose window has fully
+        drained, so no live reference observes the old state — but the new
+        incarnation must not inherit any of it either.
+        """
+        inst = dec.inst
+        self.seq = seq
+        self.inst = inst
+        self.fetch_cycle = fetch_cycle
+        self.stage = Stage.FETCHED
+        self.dec = dec
+        self.opcode = dec.opcode
+        self.pc = dec.pc
+        self.predicted_taken = False
+        self.predicted_target = None
+        self.predictor_context = None
+        self.checkpoint = None
+        self.actual_taken = None
+        self.actual_target = None
+        self.mispredicted = False
+        self.src1_producer = None
+        self.src2_producer = None
+        self.src1_value = 0
+        self.src2_value = 0
+        self.src1_arf_tainted = False
+        self.src2_arf_tainted = False
+        self.control_deps = EMPTY
+        self.out_deps = EMPTY
+        self.out_roots = EMPTY
+        self.out_tainted = False
+        self.result = 0
+        self.mem_address = None
+        self.store_data = 0
+        self.forwarded_from = None
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+        self.first_gated_cycle = -1
+        self.gated_cycles = 0
+        self.waiting_on = 0
+        self.consumers.clear()
+        self.squashed = False
+        self.propagated = False
 
     # ------------------------------------------------------------- operands
     def value_of_src1(self) -> int:

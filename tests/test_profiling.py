@@ -1,0 +1,80 @@
+"""The profiling harness: report shape, cycle attribution, CLI entry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.profiling import SORT_KEYS, profile_run, render_profile
+from repro.secure import make_policy
+from repro.uarch import OooCore
+from repro.workloads import build_workload
+
+
+def test_profile_run_report_shape():
+    program = build_workload("gather", "test").assemble()
+    report = profile_run(program, "levioso")
+    assert report["workload"] == program.name
+    assert report["policy"] == "levioso"
+    # A real run must surface a meaningful call profile.
+    assert len(report["top_functions"]) >= 10
+    for row in report["top_functions"]:
+        assert row["ncalls"] > 0
+        assert row["cumtime"] >= row["tottime"] >= 0.0
+    # cumtime sort means descending cumulative time.
+    cums = [row["cumtime"] for row in report["top_functions"]]
+    assert cums == sorted(cums, reverse=True)
+    assert report["run"]["cycles"] > 0
+    assert report["run"]["inst_per_sec"] > 0
+    horizon = report["event_horizon"]
+    assert 0.0 <= horizon["skip_fraction"] < 1.0
+    assert horizon["cycles_skipped"] == (
+        report["cycle_attribution"]["simulated_cycles"]
+        - report["cycle_attribution"]["stepped_cycles"]
+    )
+
+
+def test_profile_cycle_attribution_matches_core_stats():
+    program = build_workload("gather", "test").assemble()
+    report = profile_run(program, "levioso")
+    # The attribution block mirrors a plain run's CoreStats (profiling
+    # must not perturb simulated state).
+    plain = OooCore(program, policy=make_policy("levioso")).run()
+    attr = report["cycle_attribution"]
+    assert attr["simulated_cycles"] == plain.stats.cycles
+    assert attr["fetch_stall_cycles"] == plain.stats.fetch_stall_cycles
+    assert attr["rob_full_stalls"] == plain.stats.rob_full_stalls
+    assert attr["load_gate_cycles"] == plain.stats.load_gate_cycles
+
+
+def test_profile_run_rejects_unknown_sort():
+    program = build_workload("gather", "test").assemble()
+    with pytest.raises(ValueError, match="sort"):
+        profile_run(program, sort="walltime")
+    assert "cumtime" in SORT_KEYS
+
+
+def test_render_profile_is_readable():
+    program = build_workload("gather", "test").assemble()
+    report = profile_run(program, "levioso", top=5)
+    text = render_profile(report)
+    assert "workload gather" in text
+    assert "event horizon" in text
+    assert "top functions by cumtime" in text
+
+
+def test_cli_profile_json(capsys):
+    rc = main(["profile", "gather", "--policy", "levioso", "--json", "--top", "12"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["workload"] == "gather"
+    assert len(report["top_functions"]) >= 10
+
+
+def test_cli_profile_no_cycle_skip(capsys):
+    rc = main(["profile", "gather", "--no-cycle-skip"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 of" in out or "(0.0%)" in out
