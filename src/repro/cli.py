@@ -15,7 +15,9 @@ Subcommands::
     repro report [--scale S]             # fold bench artifacts into EXPERIMENTS.md
     repro suite                          # list workloads
     repro cache {info,verify,repair,clear}   # persistent run-result cache
-    repro chaos [--seed N]               # fault-injection smoke drill
+    repro chaos [--seed N] [--service]   # fault-injection smoke drill
+    repro serve [--port P] [--jobs N]    # simulation-as-a-service daemon
+    repro submit WORKLOAD... [--policies ...] [--wait] [--verify]
 
 ``--jobs N`` fans simulations out over N worker processes (default:
 ``$REPRO_JOBS`` or 1); ``--cache`` persists run results on disk (location:
@@ -42,6 +44,7 @@ from .compiler import run_levioso_pass, static_stats
 from .errors import ReproError
 from .functional import run_program
 from .harness import (
+    ExperimentRunner,
     GridPoint,
     ParallelRunner,
     ResultCache,
@@ -352,6 +355,18 @@ def cmd_cache(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if args.service:
+        from .service.chaos import service_chaos_smoke
+
+        ok = service_chaos_smoke(
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            workloads=tuple(args.workloads or ("gather", "pchase")),
+            policies=tuple(args.policies or ("none", "levioso")),
+            cache_dir=args.cache_dir,
+        )
+        return 0 if ok else 1
     from .harness import chaos_smoke
 
     ok = chaos_smoke(
@@ -363,6 +378,102 @@ def cmd_chaos(args) -> int:
         cache_dir=args.cache_dir,
     )
     return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    from .service.daemon import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        retries=args.retries,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        use_cache=args.cache or args.cache_dir is not None,
+        drain_timeout=args.drain_timeout,
+    )
+    return serve(config)
+
+
+def cmd_submit(args) -> int:
+    from .service.client import ServiceClient, ServiceQueueFull
+
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    policies = args.policies or ["none", "levioso"]
+    runs = [
+        {"workload": w, "policy": p, "scale": args.scale}
+        for w in args.workloads
+        for p in policies
+    ]
+    if args.duplicate:
+        # Same batch twice over: the daemon must coalesce the in-batch
+        # duplicates and serve the second round from its result store.
+        runs = runs * 2
+    try:
+        jobs = client.submit(runs, priority=args.priority)
+    except ServiceQueueFull as exc:
+        print(f"error: {exc} (retry after {exc.retry_after:.0f}s)",
+              file=sys.stderr)
+        return 3
+    dedup = sum(1 for j in jobs if j["coalesced"] or j["cached"])
+    print(f"submitted {len(jobs)} job(s) "
+          f"({dedup} coalesced/cached) to {client.base_url}")
+    if not (args.wait or args.verify or args.json):
+        for job in jobs:
+            print(f"  {job['id']}  {job['request']['workload']}"
+                  f"/{job['request']['policy']}  {job['state']}")
+        return 0
+
+    finals = client.wait([j["id"] for j in jobs], timeout=args.wait_timeout)
+    ordered = [finals[j["id"]] for j in jobs]
+    if args.duplicate:
+        # Round two: every point now has a stored result, so a fresh
+        # submission must be answered entirely from the result store.
+        rerun = client.submit(runs[: len(runs) // 2])
+        refinals = client.wait([j["id"] for j in rerun],
+                               timeout=args.wait_timeout)
+        ordered += [refinals[j["id"]] for j in rerun]
+
+    if args.json:
+        import json
+
+        print(json.dumps(ordered, indent=2))
+
+    mismatches = 0
+    if args.verify:
+        import json as json_mod
+
+        runner = ExperimentRunner(scale=args.scale)
+        for job in ordered:
+            request = job["request"]
+            local = json_mod.loads(json_mod.dumps(ResultCache.serialize(
+                runner.run(request["workload"], request["policy"]).slim())))
+            if job.get("result") != local:
+                mismatches += 1
+                print(f"MISMATCH {request['workload']}/{request['policy']}: "
+                      f"service result differs from serial in-process run",
+                      file=sys.stderr)
+
+    if not args.json:
+        rows = [
+            [j["request"]["workload"], j["request"]["policy"],
+             j["result"]["cycles"] if j.get("result") else "—",
+             f"{j['result']['ipc']:.3f}" if j.get("result") else "—",
+             ("cached" if j["cached"] else
+              "coalesced" if j["coalesced"] else "simulated"),
+             f"{j['latency']:.3f}s" if j.get("latency") is not None else "—"]
+            for j in ordered
+        ]
+        print(format_table(
+            ["workload", "policy", "cycles", "IPC", "served", "latency"],
+            rows))
+    if args.verify:
+        print("verify: " + ("OK — service results bit-identical to the "
+                            "serial in-process runner" if not mismatches
+                            else f"{mismatches} MISMATCH(ES)"))
+    return 1 if mismatches else 0
 
 
 def cmd_attack(args) -> int:
@@ -436,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Levioso (DAC'24) reproduction: simulators, compiler pass, "
         "attacks and experiment harness.",
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -549,7 +666,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES)
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="keep the drill's cache here (default: temp dir)")
+    p.add_argument(
+        "--service", action="store_true",
+        help="drive the drill through the HTTP service path (worker kill "
+        "+ cache corruption while jobs are queued) instead of the batch "
+        "harness",
+    )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (async job queue with "
+        "request coalescing, backpressure and a /metrics endpoint)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--jobs", type=int, default=default_jobs(), metavar="N",
+                   help="worker processes (default: $REPRO_JOBS or 1)")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="max queued simulations before 429s (default: 64)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per job after the first attempt (default: 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="per-job wall-clock budget; hung workers are "
+                   "abandoned and the job retried")
+    p.add_argument("--cache", action="store_true",
+                   help="persist results in the on-disk run cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache location (implies --cache)")
+    p.add_argument("--drain-timeout", type=float, default=60.0,
+                   metavar="SECS",
+                   help="grace period for in-flight jobs on SIGTERM "
+                   "(default: 60)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit workload x policy runs to a running repro serve "
+        "daemon and optionally wait/verify",
+    )
+    p.add_argument("workloads", nargs="+", choices=WORKLOAD_NAMES,
+                   metavar="WORKLOAD")
+    p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES,
+                   help="policies per workload (default: none levioso)")
+    p.add_argument("--scale", default="test", choices=("test", "ref"))
+    p.add_argument("--url", default=None,
+                   help="service base URL (default: $REPRO_SERVICE_URL or "
+                   "http://127.0.0.1:8765)")
+    p.add_argument("--priority", type=int, default=None,
+                   help="batch priority (lower runs sooner)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until every job resolves and print results")
+    p.add_argument("--duplicate", action="store_true",
+                   help="submit every point twice in-batch, then resubmit "
+                   "after completion (exercises coalescing + cache hits)")
+    p.add_argument("--verify", action="store_true",
+                   help="after waiting, rerun each point serially in-process "
+                   "and require bit-identical results (implies --wait)")
+    p.add_argument("--json", action="store_true",
+                   help="print the final job objects as JSON (implies --wait)")
+    p.add_argument("--wait-timeout", type=float, default=600.0,
+                   metavar="SECS")
+    p.add_argument("--http-timeout", type=float, default=30.0,
+                   metavar="SECS")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
     p.add_argument("name", choices=sorted(ATTACKS))
@@ -605,6 +786,10 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Conventional 128+SIGINT exit, without the traceback wall of text.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,10 +46,23 @@ from .runner import ExperimentRunner, RunRecord
 
 
 def default_jobs() -> int:
-    """``$REPRO_JOBS`` if set and positive, else 1 (serial)."""
+    """``$REPRO_JOBS`` if set and positive, else 1 (serial).
+
+    A malformed value still maps to 1, but loudly: silently serializing
+    a grid run because of a typo like ``REPRO_JOBS=four`` wastes hours
+    before anyone notices.
+    """
+    import sys
+
+    raw = os.environ.get("REPRO_JOBS", "1")
     try:
-        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        jobs = int(raw)
     except ValueError:
+        print(
+            f"warning: ignoring malformed REPRO_JOBS={raw!r} "
+            f"(expected an integer); running serial with jobs=1",
+            file=sys.stderr,
+        )
         return 1
     return max(jobs, 1)
 

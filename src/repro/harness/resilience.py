@@ -319,6 +319,7 @@ def execute_supervised(
         return report
     if jobs <= 1:
         _execute_serial(items, worker, policy, on_success, report)
+        _feed_metrics(report)
         return report
 
     workers = min(jobs, len(items))
@@ -446,7 +447,23 @@ def execute_supervised(
                         submit(it)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
+        _feed_metrics(report)
     return report
+
+
+def _feed_metrics(report: ResilienceReport) -> None:
+    """Fold the grid's outcomes into the global service metrics registry.
+
+    Best-effort by design: the registry (``repro.service.metrics``) is a
+    pure-stdlib observer fed by both the batch harness and the daemon —
+    a metrics problem must never fail a grid run.
+    """
+    try:
+        from ..service.metrics import record_grid_report
+
+        record_grid_report(report)
+    except Exception:  # pragma: no cover - observer must stay silent
+        pass
 
 
 # ------------------------------------------------------------ hole records

@@ -1,0 +1,526 @@
+"""Simulation-as-a-service: the asyncio HTTP daemon behind ``repro serve``.
+
+A long-running process that turns the one-shot experiment harness into a
+serving layer: clients POST (workload, policy, config-override) requests
+and poll job ids, while the daemon keeps a warm worker pool, an
+in-memory result store and (optionally) the persistent
+:class:`~repro.harness.cache.ResultCache` across requests.  Stdlib only
+— the HTTP layer is a minimal HTTP/1.1 implementation over
+``asyncio.start_server`` (one request per connection, ``Connection:
+close``), which is all the JSON + Prometheus endpoints need.
+
+Endpoints::
+
+    POST /v1/runs        submit one request object or {"runs": [...]}
+                         -> 202 {"jobs": [{id, state, coalesced, cached}]}
+                         -> 400 on malformed requests
+                         -> 429 + Retry-After when the queue is full
+                            (batch admission is all-or-nothing: a batch
+                            is never half-accepted)
+                         -> 503 while draining
+    GET  /v1/runs        queue/job table summary
+    GET  /v1/runs/{id}   job status; includes the serialized RunRecord
+                         once the job is done
+    GET  /healthz        liveness + queue/worker gauges
+    GET  /metrics        Prometheus text format
+
+**Coalescing**: requests are keyed by the run-cache content key.  A key
+with a stored result is answered immediately (``cached``); a key with a
+queued/in-flight flight attaches the new job to it (``coalesced``);
+only novel keys consume queue capacity.  Because simulations are pure
+functions of the key, results served any of the three ways are
+bit-identical to a serial in-process run.
+
+**Drain**: SIGTERM/SIGINT stop admission (503), let queued + in-flight
+jobs finish (bounded by ``drain_timeout``), then exit 0 — an accepted
+job is never dropped by shutdown short of the timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+import sys
+import threading
+
+from .. import __version__
+from ..harness.cache import ResultCache
+from ..harness.resilience import RetryPolicy
+from ..harness.runner import RunRecord
+from .jobs import (
+    DONE,
+    BadRequest,
+    Flight,
+    Job,
+    JobStore,
+    RunKeyer,
+    RunRequest,
+)
+from .metrics import MetricsRegistry, record_cache_stats
+from .queue import AdmissionQueue, QueueFull
+from .scheduler import Scheduler
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Largest accepted batch; beyond this a client should chunk.
+MAX_BATCH = 1024
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    jobs: int = 2                  # worker processes
+    queue_depth: int = 64          # max queued flights (backpressure)
+    retries: int = 2               # per-flight retries after first attempt
+    timeout: float | None = None   # per-flight wall-clock seconds
+    cache_dir: str | None = None   # persistent ResultCache root
+    use_cache: bool = False        # persist results across restarts
+    drain_timeout: float = 60.0    # grace period on SIGTERM
+    history: int = 4096            # completed jobs kept addressable
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(max_attempts=max(self.retries + 1, 1),
+                           timeout=self.timeout)
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class SimulationService:
+    """Owns the queue, scheduler, job store and HTTP front end."""
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.keyer = RunKeyer()
+        self.store = JobStore(history=self.config.history)
+        self.results: dict[str, RunRecord] = {}
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if (self.config.use_cache or self.config.cache_dir)
+            else None
+        )
+        self.scheduler = Scheduler(
+            self.queue, self.store, self.results, self.metrics,
+            jobs=self.config.jobs,
+            retry_policy=self.config.retry_policy(),
+            cache=self.cache,
+        )
+        self.draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = asyncio.Event()
+        self.port: int | None = None   # bound port (after start)
+
+        m = self.metrics
+        self.m_requests = m.counter(
+            "repro_service_http_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            labelnames=("endpoint", "code"))
+        self.m_submitted = m.counter(
+            "repro_service_jobs_submitted_total",
+            "Jobs accepted by the service (cached + coalesced + simulated).")
+        self.m_coalesced = m.counter(
+            "repro_service_jobs_coalesced_total",
+            "Jobs attached to an already queued/in-flight identical request.")
+        self.m_cache_hits = m.counter(
+            "repro_service_cache_hits_total",
+            "Jobs answered from the result store without queueing.")
+        self.m_rejected = m.counter(
+            "repro_service_jobs_rejected_total",
+            "Submissions rejected by admission control (HTTP 429).")
+        self.m_queue_depth = m.gauge(
+            "repro_service_queue_depth", "Flights waiting in the job queue.")
+        self.m_workers = m.gauge(
+            "repro_service_workers", "Configured worker processes.")
+        self.m_workers.set(self.config.jobs)
+        m.gauge("repro_service_info",
+                "Static service metadata.",
+                labelnames=("version",)).set(1, version=__version__)
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain_and_stop(self) -> bool:
+        """Stop admission, finish accepted work, shut down.  True iff
+        everything accepted was resolved inside the drain budget."""
+        if self.draining:
+            await self._stopped.wait()
+            return True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await self.scheduler.drain(self.config.drain_timeout)
+        await self.scheduler.stop(wait_workers=drained)
+        self._stopped.set()
+        return drained
+
+    # ------------------------------------------------------------ admission
+    def submit(self, requests: list[RunRequest]) -> list[Job]:
+        """Admit a batch (all-or-nothing); raises :class:`QueueFull`.
+
+        Runs synchronously on the event loop — no awaits — so the plan
+        (which keys are cached / coalescible / novel) cannot be
+        invalidated by a flight resolving mid-batch.
+        """
+        if self.draining:
+            raise _HttpError(503, "service is draining")
+        open_flights = {f.key: f for f in self.queue.flights()}
+        open_flights.update(self.scheduler.inflight)
+        plans: list[tuple[RunRequest, str, str]] = []  # (request, key, how)
+        novel: dict[str, None] = {}   # insertion-ordered unique new keys
+        for request in requests:
+            key = self.keyer.key_for(request)
+            if key in novel:
+                how = "coalesce"      # duplicate within this very batch
+            elif key in self.results:
+                how = "cached"
+            elif key in open_flights:
+                how = "coalesce"
+            else:
+                record = self.cache.get(key) if self.cache is not None else None
+                if record is not None:
+                    self.results[key] = record
+                    how = "cached"
+                else:
+                    how = "new"
+                    novel[key] = None
+            plans.append((request, key, how))
+        if not self.queue.has_room_for(len(novel)):
+            self.m_rejected.inc(len(requests))
+            raise QueueFull(self.queue.depth, self._retry_after())
+
+        jobs: list[Job] = []
+        for request, key, how in plans:
+            job = Job(request=request, key=key)
+            self.store.add(job)
+            self.m_submitted.inc()
+            if how == "cached":
+                job.cached = True
+                job.state = DONE
+                job.record = self.results[key]
+                job.finished = job.created
+                self.m_cache_hits.inc()
+            elif how == "coalesce" or key in open_flights:
+                job.coalesced = True
+                flight = open_flights[key]
+                before = flight.priority
+                flight.attach(job)
+                if flight.priority < before:
+                    self.queue.reprioritize(flight)
+                self.m_coalesced.inc()
+            else:
+                flight = Flight(key=key, request=request,
+                                priority=request.priority)
+                flight.attach(job)
+                open_flights[key] = flight
+                self.queue.push(flight)
+            jobs.append(job)
+        self.m_queue_depth.set(len(self.queue))
+        if novel:
+            self.scheduler.notify()
+        return jobs
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: median sim time x queue depth / workers."""
+        per_sim = self.scheduler.m_sim_seconds.quantile(0.5) or 0.5
+        return max(1.0, round(
+            per_sim * self.queue.depth / max(self.config.jobs, 1), 1))
+
+    # ------------------------------------------------------------- endpoints
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.depth,
+            "running": len(self.scheduler.inflight),
+            "workers": self.config.jobs,
+            "degraded": self.scheduler.pool.degraded,
+            "jobs_tracked": len(self.store),
+            "results_stored": len(self.results),
+        }
+
+    def _runs_index(self) -> dict:
+        jobs = self.store.jobs()
+        return {
+            "jobs": [j.describe(include_result=False) for j in jobs[-100:]],
+            "total": len(jobs),
+            "evicted": self.store.evicted,
+        }
+
+    def _metrics_text(self) -> str:
+        self.m_queue_depth.set(len(self.queue))
+        if self.cache is not None:
+            record_cache_stats(self.cache.stats, self.metrics)
+        return self.metrics.render()
+
+    def _parse_submission(self, body: bytes) -> list[RunRequest]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if isinstance(payload, dict) and "runs" in payload:
+            runs = payload["runs"]
+            if not isinstance(runs, list) or not runs:
+                raise _HttpError(400, '"runs" must be a non-empty array')
+        elif isinstance(payload, dict):
+            runs = [payload]
+        else:
+            raise _HttpError(
+                400, "body must be a run object or {\"runs\": [...]}")
+        if len(runs) > MAX_BATCH:
+            raise _HttpError(413, f"batch too large (max {MAX_BATCH})")
+        try:
+            return [RunRequest.from_dict(r) for r in runs]
+        except BadRequest as exc:
+            raise _HttpError(400, str(exc)) from exc
+
+    def _route(self, method: str, path: str, body: bytes
+               ) -> tuple[int, dict[str, str], bytes, str]:
+        """Dispatch; returns (status, extra headers, body, endpoint label)."""
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            payload = self._healthz()
+            return 200, {}, _json_bytes(payload), "/healthz"
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "metrics is GET-only")
+            text = self._metrics_text().encode()
+            return 200, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }, text, "/metrics"
+        if path == "/v1/runs":
+            if method == "GET":
+                return 200, {}, _json_bytes(self._runs_index()), "/v1/runs"
+            if method != "POST":
+                raise _HttpError(405, "use POST to submit, GET to list")
+            requests = self._parse_submission(body)
+            try:
+                jobs = self.submit(requests)
+            except QueueFull as exc:
+                raise _HttpError(
+                    429, str(exc),
+                    headers={"Retry-After": str(int(exc.retry_after + 0.5))},
+                ) from exc
+            accepted = {
+                "jobs": [j.describe(include_result=False) for j in jobs],
+            }
+            return 202, {}, _json_bytes(accepted), "/v1/runs"
+        if path.startswith("/v1/runs/"):
+            if method != "GET":
+                raise _HttpError(405, "job status is GET-only")
+            job = self.store.get(path[len("/v1/runs/"):])
+            if job is None:
+                raise _HttpError(404, "no such job (it may have aged out)")
+            return 200, {}, _json_bytes(job.describe()), "/v1/runs/{id}"
+        raise _HttpError(404, f"no route for {path}")
+
+    # ------------------------------------------------------------------ http
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        endpoint = "?"
+        try:
+            status, headers, payload, endpoint = await self._handle_request(
+                reader)
+        except _HttpError as exc:
+            status = exc.status
+            headers = dict(exc.headers)
+            payload = _json_bytes({"error": exc.message, "status": status})
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            writer.close()
+            return
+        except Exception as exc:  # never let one request kill the daemon
+            status, headers = 500, {}
+            payload = _json_bytes({"error": f"internal error: {exc}",
+                                   "status": 500})
+        self.m_requests.inc(endpoint=endpoint, code=str(status))
+        reason = _REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        base = {
+            "Content-Type": "application/json; charset=utf-8",
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+            "Server": f"repro-serve/{__version__}",
+        }
+        base.update(headers)
+        head += [f"{k}: {v}" for k, v in base.items()]
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader
+                              ) -> tuple[int, dict[str, str], bytes, str]:
+        request_line = await asyncio.wait_for(reader.readline(), 30.0)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), 30.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body too large (max {MAX_BODY_BYTES}B)")
+        body = (await asyncio.wait_for(reader.readexactly(length), 30.0)
+                if length else b"")
+        path = target.split("?", 1)[0]
+        return self._route(method.upper(), path, body)
+
+
+def _json_bytes(payload) -> bytes:
+    return (json.dumps(payload, indent=2) + "\n").encode()
+
+
+# ----------------------------------------------------------------- serving
+async def _serve(config: ServiceConfig, ready=None) -> int:
+    service = SimulationService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    drain_task: list[asyncio.Task] = []
+
+    def request_drain(signame: str) -> None:
+        if not drain_task:
+            print(f"repro serve: {signame} received, draining "
+                  f"({len(service.queue)} queued, "
+                  f"{len(service.scheduler.inflight)} running)...",
+                  file=sys.stderr, flush=True)
+            drain_task.append(loop.create_task(service.drain_and_stop()))
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                sig, request_drain, signal.Signals(sig).name)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    print(f"repro serve: listening on http://{config.host}:{service.port} "
+          f"({config.jobs} worker(s), queue depth {config.queue_depth})",
+          flush=True)
+    if ready is not None:
+        ready(service)
+    await service._stopped.wait()
+    drained = True
+    if drain_task:
+        drained = drain_task[0].result()
+    print("repro serve: drained clean, bye" if drained
+          else "repro serve: drain timeout hit, some jobs unresolved",
+          file=sys.stderr, flush=True)
+    return 0 if drained else 1
+
+
+def serve(config: ServiceConfig | None = None) -> int:
+    """Blocking entrypoint behind ``repro serve``; returns the exit code."""
+    return asyncio.run(_serve(config or ServiceConfig()))
+
+
+class ServiceThread:
+    """A :class:`SimulationService` on a background thread + event loop.
+
+    The in-process harness used by tests, the load generator and the
+    service chaos drill: ``start()`` returns once the port is bound;
+    ``stop()`` drains and joins.  Use ``base_url`` with
+    :class:`~repro.service.client.ServiceClient`.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig(port=0)
+        self.service: SimulationService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.drained: bool | None = None
+
+    @property
+    def base_url(self) -> str:
+        assert self.service is not None and self.service.port is not None
+        return f"http://{self.config.host}:{self.service.port}"
+
+    def start(self) -> "ServiceThread":
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def boot():
+                self.service = SimulationService(self.config)
+                await self.service.start()
+                self._ready.set()
+                await self.service._stopped.wait()
+
+            try:
+                loop.run_until_complete(boot())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def call(self, fn, *args):
+        """Run ``fn(service, *args)`` on the service loop; returns its value."""
+        assert self._loop is not None
+
+        async def wrapper():
+            return fn(self.service, *args)
+
+        return asyncio.run_coroutine_threadsafe(
+            wrapper(), self._loop).result(30.0)
+
+    def pause(self) -> None:
+        self.call(lambda s: s.scheduler.pause())
+
+    def resume(self) -> None:
+        self.call(lambda s: s.scheduler.resume())
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Drain + stop + join; True iff the drain completed cleanly."""
+        assert self._loop is not None and self._thread is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain_and_stop(), self._loop)
+        self.drained = future.result(timeout)
+        self._thread.join(timeout)
+        return bool(self.drained)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self.stop()

@@ -1,0 +1,334 @@
+"""Prometheus-style metrics primitives for the simulation service.
+
+A :class:`MetricsRegistry` owns named :class:`Counter`, :class:`Gauge`
+and :class:`Histogram` instruments and renders them in the Prometheus
+text exposition format (version 0.0.4) for the daemon's ``GET /metrics``
+endpoint.  Everything is stdlib: instruments are dicts guarded by one
+lock per registry, so the harness's worker-callback threads and the
+daemon's event loop can feed the same registry safely.
+
+Two registries matter in practice:
+
+* the **global** registry (:data:`GLOBAL`, via :func:`global_registry`)
+  — fed by the harness itself (:func:`record_grid_report` is called at
+  the end of every supervised grid execution, service or CLI alike), so
+  ``repro serve`` surfaces batch-harness activity too;
+* a **per-service** registry created by the daemon for its own queue /
+  coalescing / latency instruments (kept separate so two services in one
+  process — e.g. tests — never double-count).
+
+This module must stay import-light: the harness imports it from inside
+functions, and it must never import the harness back (or the daemon).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+#: Default latency buckets (seconds) — tuned to simulation runtimes at
+#: ``test`` scale (0.05s..5s) with headroom for ``ref`` runs.
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-compatible rendering of a sample value."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared bookkeeping: name, help text, label names, sample store."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        #: label-values tuple -> numeric sample (or histogram state)
+        self._samples: dict[tuple, float] = {}
+
+    def _labelkey(self, labels: dict[str, str]) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+    def _labeldict(self, key: tuple) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Instrument):
+    """Monotonically increasing sample (optionally per label set)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        key = self._labelkey(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(self._labelkey(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set (convenience for tests/health)."""
+        with self._lock:
+            return sum(self._samples.values())
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            samples = dict(self._samples) or ({(): 0.0} if not self.labelnames else {})
+        for key, value in sorted(samples.items()):
+            lines.append(
+                f"{self.name}{_format_labels(self._labeldict(key))} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """A sample that can go up and down (queue depth, worker count)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._labelkey(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._labelkey(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(self._labelkey(labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            samples = dict(self._samples) or ({(): 0.0} if not self.labelnames else {})
+        for key, value in sorted(samples.items()):
+            lines.append(
+                f"{self.name}{_format_labels(self._labeldict(key))} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram with quantile estimation.
+
+    Samples are binned into fixed buckets at observation time (O(1)
+    memory), and :meth:`quantile` answers p50/p99 queries by linear
+    interpolation inside the winning bucket — coarse but dependency-free,
+    which is all the latency reporting needs.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0..1) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(self.buckets):
+                in_bucket = self._counts[i]
+                if cumulative + in_bucket >= rank and in_bucket:
+                    frac = (rank - cumulative) / in_bucket
+                    return lower + (bound - lower) * min(max(frac, 0.0), 1.0)
+                cumulative += in_bucket
+                lower = bound
+            return lower  # everything beyond the last finite bound
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            counts = list(self._counts)
+            total, total_sum = self._count, self._sum
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += counts[i]
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_format_value(total_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments + Prometheus text rendering.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument (so independent call
+    sites can share one metric), but re-registering a name as a different
+    kind is an error.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        with self._lock:
+            instruments = sorted(self._instruments.values(),
+                                 key=lambda m: m.name)
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+
+#: Process-wide registry the harness feeds (see :func:`record_grid_report`).
+GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return GLOBAL
+
+
+def record_grid_report(report, registry: MetricsRegistry | None = None) -> None:
+    """Fold a :class:`~repro.harness.resilience.ResilienceReport` into metrics.
+
+    Called by the harness after every supervised grid execution (the
+    service's scheduler maintains its own per-job instruments; this is
+    the batch path: ``repro bench`` / ``repro experiment`` / prefetch).
+    """
+    registry = registry if registry is not None else GLOBAL
+    outcomes = registry.counter(
+        "repro_grid_points_total",
+        "Grid points executed under harness supervision, by outcome.",
+        labelnames=("status",),
+    )
+    for outcome in report.outcomes:
+        outcomes.inc(status=outcome.status)
+    if report.pool_rebuilds:
+        registry.counter(
+            "repro_pool_rebuilds_total",
+            "Worker-pool rebuilds after a pool death or hung worker.",
+        ).inc(report.pool_rebuilds)
+    if report.degraded_to_serial:
+        registry.counter(
+            "repro_pool_degradations_total",
+            "Times a grid execution degraded to in-process serial mode.",
+        ).inc()
+
+
+def record_cache_stats(stats, registry: MetricsRegistry | None = None) -> None:
+    """Export a :class:`~repro.harness.cache.CacheStats` snapshot as gauges."""
+    registry = registry if registry is not None else GLOBAL
+    for name, value in stats.as_dict().items():
+        registry.gauge(
+            f"repro_result_cache_{name}",
+            f"ResultCache session counter {name!r}.",
+        ).set(value)

@@ -106,3 +106,21 @@ def test_lint_json(capsys):
     assert payload[0]["target"] == "cipher"
     assert payload[0]["scan"]["clean"] is True
     assert payload[0]["verifier"]["sound"] is True
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--version"])
+    assert exc_info.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_keyboard_interrupt_exits_130(monkeypatch, capsys):
+    def interrupted(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.cli.cmd_run", interrupted)
+    assert main(["run", "gather"]) == 130
+    assert "interrupted" in capsys.readouterr().err

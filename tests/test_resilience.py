@@ -276,6 +276,76 @@ def test_concurrent_put_same_key_no_tmp_collision(tmp_path):
     assert reread.stats.corrupt == 0
 
 
+_CACHE_HAMMER = """
+import json, sys
+from repro.harness.cache import ResultCache
+
+root, mode, key, record_path, rounds = sys.argv[1:6]
+with open(record_path) as fh:
+    record = ResultCache.deserialize(json.load(fh))
+cache = ResultCache(root)
+for _ in range(int(rounds)):
+    if mode == "write":
+        cache.put(key, record)
+    else:
+        got = cache.get(key)
+        assert got is not None, "reader saw a missing entry mid-write"
+        assert got.cycles == record.cycles, "reader saw a torn entry"
+assert cache.stats.corrupt == 0
+print("ok")
+"""
+
+
+def test_multiprocess_readers_writers_while_verify_runs(tmp_path):
+    """Verify must stay clean while other *processes* rewrite and read a key.
+
+    ``put`` is an atomic same-directory replace, so a concurrent
+    ``cache verify`` (the operator's integrity scan) and any number of
+    cross-process readers must only ever observe complete entries —
+    never a torn or missing one.
+    """
+    runner = ParallelRunner(scale="test", jobs=1)
+    record = runner.run("gather", "none").slim()
+    key = runner.run_key_for("gather", "none")
+    cache = ResultCache(tmp_path)
+    cache.put(key, record)
+    record_path = tmp_path / "record-fixture.json"
+    record_path.write_text(json.dumps(ResultCache.serialize(record)))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(FAULT_ENV, None)
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _CACHE_HAMMER, str(tmp_path), mode,
+             key, str(record_path), "40"],
+            env=env, cwd=repo_root,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for mode in ("write", "write", "read", "read")
+    ]
+    # The integrity scan races the workers from this process the whole time.
+    scans = 0
+    while any(p.poll() is None for p in procs):
+        scan = ResultCache(tmp_path).verify()
+        assert not scan.corrupt, f"verify saw a torn entry: {scan.corrupt}"
+        scans += 1
+    assert scans > 0
+    for p in procs:
+        out, err = p.communicate(timeout=60)
+        assert p.returncode == 0, err
+        assert "ok" in out
+    # Quiescent state: one clean entry, no temp litter, contents intact.
+    record_path.unlink()  # not a cache entry; remove before the final scan
+    final = ResultCache(tmp_path)
+    scan = final.verify()
+    assert scan.clean and scan.checked == 1
+    assert not list(tmp_path.rglob("*.tmp"))
+    got = final.get(key)
+    assert got is not None and got.cycles == record.cycles
+
+
 # ------------------------------------------------- supervised execution
 def test_supervisor_captures_exception_with_traceback():
     def worker(args):
