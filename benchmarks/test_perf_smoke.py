@@ -51,6 +51,34 @@ RELATIVE_FLOOR = 0.8
 
 _CALIBRATION_ITERS = 200_000
 
+#: Fast-path feature flags recorded with every entry.  Each is on unless
+#: its REPRO_NO_* kill switch is set, mirroring the runtime defaults in
+#: repro.uarch.core / repro.uarch.specialize / repro.harness.lockstep.
+_FEATURE_FLAGS = {
+    "cycle_skip": "REPRO_NO_CYCLE_SKIP",
+    "dyn_pool": "REPRO_NO_DYN_POOL",
+    "specialize": "REPRO_NO_SPECIALIZE",
+    "lockstep": "REPRO_NO_LOCKSTEP",
+}
+
+#: Flag set for history entries that predate feature recording: those
+#: runs had cycle skipping and the dyninst pool but not specialization
+#: or lockstep batching (which landed with the recording itself).
+_LEGACY_FEATURES = {
+    "cycle_skip": True,
+    "dyn_pool": True,
+    "specialize": False,
+    "lockstep": False,
+}
+
+
+def _feature_flags() -> dict:
+    """The fast-path feature set this process would simulate with."""
+    return {
+        name: os.environ.get(env) != "1"
+        for name, env in _FEATURE_FLAGS.items()
+    }
+
 
 def _load_baseline() -> dict:
     return json.loads(BASELINE.read_text())
@@ -111,13 +139,17 @@ def _load_history() -> list[dict]:
     except (OSError, ValueError):
         return []
     history = previous.get("history")
-    if isinstance(history, list):
-        return history
-    if "runs" in previous:
-        # Legacy single-snapshot file: its top level becomes the first
-        # history entry so the trajectory keeps the pre-history data point.
-        return [{k: v for k, v in previous.items() if k != "history"}]
-    return []
+    if not isinstance(history, list):
+        if "runs" in previous:
+            # Legacy single-snapshot file: its top level becomes the first
+            # history entry so the trajectory keeps the pre-history data
+            # point.
+            history = [{k: v for k, v in previous.items() if k != "history"}]
+        else:
+            return []
+    for entry in history:
+        entry.setdefault("features", dict(_LEGACY_FEATURES))
+    return history
 
 
 def _normalized(entry: dict) -> float | None:
@@ -153,6 +185,7 @@ def test_perf_smoke():
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "calibration_score": round(_calibration_score(), 1),
         "geomean_speedup_vs_seed": round(geomean, 3),
+        "features": _feature_flags(),
         "runs": rows,
     }
     history = _load_history()

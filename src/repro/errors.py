@@ -55,10 +55,13 @@ class SimulationTimeout(SimulationError):
     Carries structured triage context so hung-workload reports (and the
     harness ``--timeout`` resilience path) can say *where* the run was
     stuck, not just that it was: the cycle ``limit`` that was hit, the
-    ``committed`` instruction count at that point, and the current fetch
-    ``pc``.  All are optional keywords — the rendered message is the only
-    required state, which keeps the exception picklable across worker
-    processes on the default (args-based) reduce path.
+    ``committed`` instruction count at that point, the current fetch
+    ``pc``, and — when raised inside a lockstep batch — the ``point``
+    label of the grid point whose core hit the limit, so a multi-point
+    worker failure is attributed to the right run key.  All are optional
+    keywords — the rendered message is the only required state, which
+    keeps the exception picklable across worker processes on the default
+    (args-based) reduce path.
     """
 
     def __init__(
@@ -68,10 +71,12 @@ class SimulationTimeout(SimulationError):
         limit: int | None = None,
         committed: int | None = None,
         pc: int | None = None,
+        point: str | None = None,
     ):
         self.limit = limit
         self.committed = committed
         self.pc = pc
+        self.point = point
         super().__init__(message)
 
 

@@ -25,6 +25,7 @@ runner.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -32,6 +33,7 @@ from typing import Callable, Iterable, Sequence
 from ..errors import HarnessError
 from ..uarch import CoreConfig
 from .cache import ResultCache
+from .lockstep import LOCKSTEP_MAX, lockstep_enabled, simulate_work
 from .resilience import (
     ResilienceReport,
     RetryPolicy,
@@ -162,39 +164,46 @@ class ParallelRunner(ExperimentRunner):
         if not todo:
             return 0
 
-        items = [
-            WorkItem(
-                key=key,
-                args=(self.scale, point, self.config),
-                workload=point.workload,
-                policy=point.policy,
-            )
-            for key, point in todo
-        ]
+        items, batch_members = self._plan_work(todo)
 
-        def on_success(item: WorkItem, record: RunRecord) -> None:
-            self.simulations += 1
-            self._cache[item.key] = record
-            if self.cache is not None:
-                self.cache.put(item.key, record)
-            if self.journal is not None:
-                status = "ok" if item.attempts <= 1 else "retried"
-                self.journal.record(item.key, status,
-                                    workload=item.workload,
-                                    policy=item.policy,
-                                    attempts=item.attempts)
+        def on_success(item: WorkItem, record) -> None:
+            status = "ok" if item.attempts <= 1 else "retried"
+            members = batch_members.get(item.key)
+            if members is None:
+                members, records = [(item.key, None)], {item.key: record}
+            else:
+                records = record  # simulate_batch returns {key: record}
+            for key, member in members:
+                rec = records[key]
+                self.simulations += 1
+                self._cache[key] = rec
+                if self.cache is not None:
+                    self.cache.put(key, rec)
+                if self.journal is not None:
+                    self.journal.record(
+                        key, status,
+                        workload=member.workload if member else item.workload,
+                        policy=member.policy if member else item.policy,
+                        attempts=item.attempts)
 
         self.report = execute_supervised(
-            items, simulate_point, self.jobs, self.retry_policy, on_success,
+            items, simulate_work, self.jobs, self.retry_policy, on_success,
         )
         for outcome in self.report.failed:
-            self.failed_points[outcome.key] = (outcome.workload,
-                                               outcome.policy)
-            if self.journal is not None:
-                self.journal.record(outcome.key, outcome.status,
-                                    workload=outcome.workload,
-                                    policy=outcome.policy,
-                                    attempts=outcome.attempts)
+            members = batch_members.get(outcome.key)
+            if members is None:
+                failed = [(outcome.key, outcome.workload, outcome.policy)]
+            else:
+                # One member sank the whole batch: every member is unfetched,
+                # so all of them are reported (and journaled) as failed.
+                failed = [(k, p.workload, p.policy) for k, p in members]
+            for key, workload, policy in failed:
+                self.failed_points[key] = (workload, policy)
+                if self.journal is not None:
+                    self.journal.record(key, outcome.status,
+                                        workload=workload,
+                                        policy=policy,
+                                        attempts=outcome.attempts)
         if self.report.failed and not self.keep_going:
             names = ", ".join(
                 f"{o.workload}/{o.policy} ({o.status} after "
@@ -206,8 +215,56 @@ class ParallelRunner(ExperimentRunner):
                 f"after supervision: {names} — rerun with --keep-going to "
                 f"render a partial table around them"
             )
-        return sum(1 for o in self.report.outcomes
-                   if o.status in ("ok", "retried"))
+        return sum(
+            len(batch_members.get(o.key, (o,)))
+            for o in self.report.outcomes
+            if o.status in ("ok", "retried")
+        )
+
+    def _plan_work(
+        self, todo: list[tuple[str, GridPoint]]
+    ) -> tuple[list[WorkItem], dict[str, list[tuple[str, GridPoint]]]]:
+        """Turn deduped grid points into supervised work items.
+
+        With lockstep enabled, points sharing a workload (hence a program
+        image) are chunked into batches of up to :data:`LOCKSTEP_MAX` that
+        one worker runs in lockstep (:mod:`repro.harness.lockstep`);
+        singletons — and everything, under ``REPRO_NO_LOCKSTEP=1`` — use
+        the classic one-point-per-task path.  Returns the work items plus
+        the batch-key -> members map used to fan results back out.
+        """
+        items: list[WorkItem] = []
+        batch_members: dict[str, list[tuple[str, GridPoint]]] = {}
+
+        def single(key: str, point: GridPoint) -> WorkItem:
+            return WorkItem(key=key, args=(self.scale, point, self.config),
+                            workload=point.workload, policy=point.policy)
+
+        if not lockstep_enabled() or len(todo) < 2:
+            return [single(key, point) for key, point in todo], batch_members
+
+        groups: dict[str, list[tuple[str, GridPoint]]] = {}
+        for key, point in todo:
+            groups.setdefault(point.workload, []).append((key, point))
+        for workload, members in groups.items():
+            for i in range(0, len(members), LOCKSTEP_MAX):
+                chunk = members[i:i + LOCKSTEP_MAX]
+                if len(chunk) == 1:
+                    items.append(single(*chunk[0]))
+                    continue
+                keys = tuple(k for k, _ in chunk)
+                bkey = "batch:" + hashlib.sha256(
+                    "|".join(keys).encode()
+                ).hexdigest()[:16]
+                batch_members[bkey] = chunk
+                items.append(WorkItem(
+                    key=bkey,
+                    args=(self.scale, tuple(p for _, p in chunk),
+                          self.config, keys),
+                    workload=workload,
+                    policy=f"{len(chunk)}-point lockstep batch",
+                ))
+        return items, batch_members
 
     def run(self, workload_name, policy_name, config=None,
             use_compiler_info=True) -> RunRecord:

@@ -34,6 +34,7 @@ import traceback
 from concurrent.futures.process import BrokenProcessPool
 
 from ..harness.cache import ResultCache
+from ..harness.lockstep import LOCKSTEP_MAX, lockstep_enabled, simulate_batch
 from ..harness.resilience import RetryPolicy, simulate_point
 from ..harness.runner import RunRecord
 from .jobs import DONE, FAILED, RUNNING, Flight, JobStore
@@ -63,6 +64,10 @@ class WorkerPool:
 
     def submit(self, args: tuple) -> tuple[cf.Future, int]:
         return self._pool.submit(simulate_point, args), self.generation
+
+    def submit_batch(self, args: tuple) -> tuple[cf.Future, int]:
+        """Submit one lockstep batch (``simulate_batch`` args)."""
+        return self._pool.submit(simulate_batch, args), self.generation
 
     def declare_dead(self, generation: int) -> None:
         """Replace the pool if ``generation`` is still the live one."""
@@ -211,9 +216,25 @@ class Scheduler:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
-            self.inflight[flight.key] = flight
-            task = asyncio.get_running_loop().create_task(
-                self._run_flight(flight))
+            # Lockstep vectorization: pull queued flights that share the
+            # popped flight's program image into one worker task.  The
+            # batch occupies the one slot just acquired (it is one worker
+            # process), so sibling slots keep draining other batches.
+            siblings = (
+                self.queue.pop_compatible(flight, LOCKSTEP_MAX - 1)
+                if lockstep_enabled() and not self.pool.degraded
+                else []
+            )
+            if siblings:
+                flights = [flight, *siblings]
+                for member in flights:
+                    self.inflight[member.key] = member
+                task = asyncio.get_running_loop().create_task(
+                    self._run_batch(flights))
+            else:
+                self.inflight[flight.key] = flight
+                task = asyncio.get_running_loop().create_task(
+                    self._run_flight(flight))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
 
@@ -239,6 +260,97 @@ class Scheduler:
             self._wakeup.set()
             if not self.busy:
                 self._idle.set()
+
+    async def _run_batch(self, flights: "list[Flight]") -> None:
+        """Run compatible flights as one lockstep batch, with fallback.
+
+        The batch is one *optimistic, uncharged* attempt: on success every
+        member resolves from the shared worker call; on any failure —
+        worker exception, hung batch, pool death — the members fall back
+        to the classic per-flight supervised path (:meth:`_execute`),
+        which attributes failures to individual flights and applies the
+        full retry-policy machinery.  SimulationTimeout raised mid-batch
+        carries the guilty member's run key in its ``point`` attribute.
+        """
+        started = time.time()
+        for flight in flights:
+            for job in flight.jobs:
+                job.state = RUNNING
+                job.started = started
+        self.m_running.inc(len(flights))
+        try:
+            records = await self._execute_batch(flights)
+            if records is not None:
+                for flight in flights:
+                    self._resolve(flight, records[flight.key])
+            else:
+                for flight in flights:
+                    try:
+                        record = await self._execute(flight)
+                    except Exception as exc:
+                        self._resolve(flight, None, error="".join(
+                            traceback.format_exception(
+                                type(exc), exc, exc.__traceback__)))
+                    else:
+                        self._resolve(flight, record)
+        finally:
+            self.m_running.dec(len(flights))
+            for flight in flights:
+                self.inflight.pop(flight.key, None)
+                self._wrapped.pop(flight.key, None)
+            self._slots.release()
+            self._wakeup.set()
+            if not self.busy:
+                self._idle.set()
+
+    async def _execute_batch(self, flights: "list[Flight]"):
+        """One uncharged lockstep attempt; ``None`` means fall back."""
+        policy = self.retry_policy
+        args = (
+            flights[0].request.scale,
+            tuple(flight.request.grid_point() for flight in flights),
+            None,
+            tuple(flight.key for flight in flights),
+        )
+        submit_generation = self.pool.generation
+        attempt_started = time.monotonic()
+        try:
+            future, generation = self.pool.submit_batch(args)
+        except (BrokenProcessPool, RuntimeError):
+            if self.pool.degraded:
+                raise
+            self._abandon_generation(submit_generation)
+            await asyncio.sleep(0)
+            return None
+        for flight in flights:
+            flight.generation = generation
+        wrapped = asyncio.wrap_future(future)
+        for flight in flights:
+            self._wrapped[flight.key] = wrapped
+        # The batch deadline scales with membership: N serial-equivalent
+        # simulations legitimately take up to N single budgets.
+        timeout = (None if self.pool.degraded or policy.timeout is None
+                   else policy.timeout * len(flights))
+        try:
+            records = await asyncio.wait_for(wrapped, timeout)
+        except asyncio.TimeoutError:
+            # Hung batch, culprit member unknown: abandon the generation
+            # and let every member retry individually, uncharged.
+            self._abandon_generation(generation)
+            return None
+        except asyncio.CancelledError:
+            if not any(flight.abandoned for flight in flights):
+                raise  # real cancellation (service stopping)
+            return None
+        except BrokenProcessPool:
+            self._abandon_generation(generation)
+            return None
+        except Exception:
+            # Some member failed; the per-flight fallback attributes it.
+            return None
+        self.m_simulations.inc(len(flights))
+        self.m_sim_seconds.observe(time.monotonic() - attempt_started)
+        return records
 
     async def _execute(self, flight: Flight) -> RunRecord:
         """One flight to success or exhaustion, under supervision."""

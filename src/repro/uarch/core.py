@@ -34,6 +34,7 @@ from ..secure.baselines import NoProtection
 from ..secure.policy import SpeculationPolicy
 from .config import CoreConfig
 from .decoded import K_BRANCH, K_JAL, K_JALR, K_SEQ, decoded_image
+from .specialize import specialize_enabled, specialized_image
 from .dyninst import Checkpoint, DynInst, Stage
 from .horizon import WATCHDOG_CYCLES as _WATCHDOG_CYCLES
 from .horizon import WarpStats, warp_to_horizon
@@ -88,6 +89,7 @@ class OooCore:
         use_compiler_info: bool = True,
         cycle_skip: bool | None = None,
         recycle_dyninsts: bool | None = None,
+        specialize: bool | None = None,
     ):
         self.program = program
         self.config = config or CoreConfig()
@@ -119,6 +121,28 @@ class OooCore:
         # record_pipeline keeps every retired DynInst alive for timeline
         # inspection — exactly what recycling would overwrite.
         self._recycle = recycle_dyninsts and not record_pipeline
+        # Region specialization: per-PC execute/address/extend functions,
+        # exec-compiled once per (image, latency profile) and attached to
+        # the shared DecodedInst records (.specialize).  Bit-invisible by
+        # contract (REPRO_NO_SPECIALIZE=1 forces the interpreted path).
+        if specialize is None:
+            specialize = specialize_enabled()
+        self._specialize = specialize
+        if specialize:
+            spec = specialized_image(self._decoded, self.config, self.policy)
+            self._execute = self._execute_alu_spec
+            # The base policy's defers_wakeup is a constant False with no
+            # side effects; skip the per-load-completion virtual call
+            # unless the policy actually overrides it (NDA does).
+            self._defers_wakeup = (
+                None if spec.skip_defer_wakeup else self.policy.defers_wakeup
+            )
+        else:
+            self._execute = self._execute_alu
+            self._defers_wakeup = self.policy.defers_wakeup
+        # Grid-point label threaded into SimulationTimeout by lockstep
+        # batches so a multi-point worker failure names the guilty point.
+        self.point_label: str | None = None
         self._dyn_pool: list[DynInst] = []
         # Committed records awaiting reclamation: (barrier_seq, dyn) where
         # barrier_seq is the fetch frontier at commit time.  Once every
@@ -199,6 +223,23 @@ class OooCore:
     def run(self, max_cycles: int | None = None) -> SimResult:
         """Run to HALT; returns the result bundle."""
         limit = max_cycles or self.config.max_cycles
+        self.advance(limit)
+        return self._result()
+
+    def advance(self, limit: int, stop_cycle: int | None = None) -> bool:
+        """Advance until HALT, ``limit`` (raises), or ``stop_cycle``.
+
+        Returns True when the program halted, False when it paused at
+        ``stop_cycle`` — the resumable slice the lockstep executor uses
+        to interleave cores.  With ``stop_cycle`` omitted this is exactly
+        the classic run loop (the limit guard precedes the stop guard, so
+        a stop at the limit still raises).  The event-horizon warp is
+        bounded by ``limit``, not ``stop_cycle``: warping past a pause
+        point is harmless (quiet cycles are quiet in any interleaving)
+        and keeps the warp contract identical in both entry modes.
+        """
+        if stop_cycle is None:
+            stop_cycle = limit
         cycle_skip = self._cycle_skip
         while not self._done:
             cycle = self._cycle
@@ -211,7 +252,10 @@ class OooCore:
                     limit=limit,
                     committed=self.stats.committed,
                     pc=self.fetch_pc,
+                    point=self.point_label,
                 )
+            if cycle >= stop_cycle:
+                return False
             if cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
                 raise SimulationError(
                     f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
@@ -232,6 +276,10 @@ class OooCore:
             ):
                 continue
             self.step()
+        return True
+
+    def _result(self) -> SimResult:
+        """The result bundle for a finished (halted) core."""
         self.stats.cycles = self._cycle
         return SimResult(
             stats=self.stats,
@@ -457,6 +505,9 @@ class OooCore:
                     dyn = pool.pop()
                     dyn.reset(seq, dec, cycle)
                     return dyn
+            # Pool dry: allocate via the reset() twin of the recycle path,
+            # skipping the dataclass __init__ keyword machinery.
+            return DynInst.fresh(seq, dec, cycle)
         return DynInst(seq=seq, inst=dec.inst, fetch_cycle=cycle, dec=dec)
 
     def _front_checkpoint(self, dyn: DynInst) -> Checkpoint:
@@ -631,7 +682,7 @@ class OooCore:
                     self._retry_event = True  # resource block: retry next cycle
                     continue
                 if self.policy.checked_may_issue_branch(dyn, self):
-                    self._execute_alu(dyn, cycle, self.config.branch_latency)
+                    self._execute(dyn, cycle, self.config.branch_latency)
                     budget -= 1
                     alu_ports -= 1
                 else:
@@ -712,7 +763,7 @@ class OooCore:
                     continue
                 div_ports -= 1
             budget -= 1
-            self._execute_alu(dyn, cycle, dec.latency)
+            self._execute(dyn, cycle, dec.latency)
 
         for entry in overflow:
             heapq.heappush(self.ready, entry)
@@ -748,15 +799,31 @@ class OooCore:
             dyn.result = semantics.alu_result(opcode, a, b, inst.imm, inst.pc)
         self._schedule(dyn, cycle, latency)
 
+    def _execute_alu_spec(self, dyn: DynInst, cycle: int, latency: int) -> None:
+        """Specialized execute: one pre-compiled op per PC (see
+        :mod:`repro.uarch.specialize`), bit-identical to
+        :meth:`_execute_alu` by the equivalence suite's contract.  The
+        operand reads and the schedule call are inlined — this runs once
+        per executed ALU/branch/jump instruction."""
+        p = dyn.src1_producer
+        a = p.result if p is not None else dyn.src1_value
+        p = dyn.src2_producer
+        b = p.result if p is not None else dyn.src2_value
+        dyn.dec.xop(dyn, a, b)
+        self._complete_at(dyn, cycle + latency)
+
     # ------------------------------------------------------------ memory ops
     def _try_issue_mem(self, dyn: DynInst, cycle: int) -> bool:
         """Attempt to issue a load/store/cflush; False leaves it pending."""
         inst = dyn.inst
         opcode = inst.opcode
         if dyn.mem_address is None:
-            dyn.mem_address = semantics.effective_address(
-                dyn.value_of_src1(), inst.imm
-            )
+            if self._specialize:
+                dyn.mem_address = dyn.dec.aop(dyn.value_of_src1())
+            else:
+                dyn.mem_address = semantics.effective_address(
+                    dyn.value_of_src1(), inst.imm
+                )
 
         if opcode.is_store:
             dyn.store_data = dyn.value_of_src2()
@@ -818,7 +885,10 @@ class OooCore:
             dyn.forwarded_from = forwarding_store
             shift = (dyn.mem_address - forwarding_store.mem_address) * 8
             raw = (forwarding_store.store_data >> shift) & ((1 << (size * 8)) - 1)
-            dyn.result = self._extend(raw, size, opcode)
+            if self._specialize:
+                dyn.result = dyn.dec.ext(raw)
+            else:
+                dyn.result = self._extend(raw, size, opcode)
             self._schedule(dyn, cycle, self.config.store_forward_latency)
             return True
 
@@ -827,7 +897,10 @@ class OooCore:
             address, cycle + self.config.agu_latency, pc=inst.pc
         )
         raw = self.memory.read_int(address, size)
-        dyn.result = self._extend(raw, size, opcode)
+        if self._specialize:
+            dyn.result = dyn.dec.ext(raw)
+        else:
+            dyn.result = self._extend(raw, size, opcode)
         self._complete_at(dyn, ready)
         return True
 
@@ -857,7 +930,9 @@ class OooCore:
         heappop = heapq.heappop
         unresolved = self.unresolved_ctrl
         inflight_loads = self.inflight_loads
-        policy = self.policy
+        # None when the policy provably never defers (base implementation
+        # is a side-effect-free constant False — see __init__).
+        defers_wakeup = self._defers_wakeup
         while completions and completions[0][0] <= cycle:
             dyn = heappop(completions)[2]
             if dyn.squashed:
@@ -868,9 +943,10 @@ class OooCore:
             dyn.finalize_lineage(unresolved, inflight_loads)
             inst = dyn.inst
             if (
-                inst.is_load
+                defers_wakeup is not None
+                and inst.is_load
                 and dyn.opcode is not Opcode.CFLUSH
-                and policy.defers_wakeup(dyn, self)
+                and defers_wakeup(dyn, self)
             ):
                 self.deferred_values.append(dyn)  # NDA: value withheld
             else:

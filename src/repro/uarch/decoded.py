@@ -46,6 +46,9 @@ class DecodedInst:
     __slots__ = (
         "inst", "opcode", "pc", "kind", "fallthrough",
         "port", "latency", "reconv_pc", "is_return",
+        # Specialized per-PC ops, attached lazily by repro.uarch.specialize:
+        # execute (xop), effective address (aop), load extension (ext).
+        "xop", "aop", "ext",
     )
 
     def __init__(self, inst, kind: int, port: str, latency: int,
@@ -61,6 +64,9 @@ class DecodedInst:
         self.is_return = (
             kind == K_JALR and inst.rs1 == 1 and inst.rd == 0
         )
+        self.xop = None
+        self.aop = None
+        self.ext = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DecodedInst({self.inst.text()}, kind={self.kind})"
@@ -69,13 +75,16 @@ class DecodedInst:
 class DecodedProgram:
     """The complete pre-decoded image of one program."""
 
-    __slots__ = ("by_pc", "entry", "fingerprint")
+    __slots__ = ("by_pc", "entry", "fingerprint", "spec_token")
 
     def __init__(self, by_pc: dict[int, DecodedInst], entry: int,
                  fingerprint: str):
         self.by_pc = by_pc
         self.entry = entry
         self.fingerprint = fingerprint
+        # Set (to the fingerprint) once specialized ops are attached, so
+        # sibling plans for other policies skip recompilation.
+        self.spec_token = None
 
     def __len__(self) -> int:
         return len(self.by_pc)

@@ -118,6 +118,21 @@ class DynInst:
         self.opcode = self.inst.opcode
         self.pc = self.inst.pc
 
+    @classmethod
+    def fresh(cls, seq: int, dec, fetch_cycle: int) -> "DynInst":
+        """Allocate a record the way :meth:`reset` initializes one.
+
+        Construction-path twin of the free-list fast path: skips the
+        dataclass ``__init__``/``__post_init__`` machinery (keyword
+        plumbing plus per-field default processing) and funnels through
+        the same ``reset`` that pool recycling uses, so both allocation
+        paths are definitionally identical.
+        """
+        dyn = object.__new__(cls)
+        dyn.consumers = []
+        dyn.reset(seq, dec, fetch_cycle)
+        return dyn
+
     def reset(self, seq: int, dec, fetch_cycle: int) -> None:
         """Reinitialize a recycled record (free-list pool fast path).
 
