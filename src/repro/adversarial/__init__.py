@@ -1,0 +1,58 @@
+"""Adversarial scenario engine: synthesis, differential oracle, repair.
+
+The engine closes the loop the static scanner opens: :mod:`.synth`
+generates Spectre-shaped programs (and known-clean mutants as
+false-positive bait), :mod:`.oracle` judges each one on the real
+simulator by differencing observation traces across secret values,
+:mod:`.repair` drives flagged programs to certified-clean by iterative
+fence insertion, and :mod:`.campaign` runs the whole corpus as an
+ordinary experiment grid and cross-validates scanner vs oracle.
+"""
+
+from .campaign import (
+    DEFAULT_POLICIES,
+    CampaignConfig,
+    campaign_grid,
+    run_campaign,
+)
+from .oracle import (
+    DEFAULT_FILLS,
+    LEAKS,
+    SECURE,
+    OracleVerdict,
+    differential_verdict,
+    explain_divergence,
+    program_verdict,
+    secret_filled,
+)
+from .repair import MAX_ITERATIONS, RepairOutcome, repair_program
+from .synth import (
+    SynthSpec,
+    build_fuzz_workload,
+    parse_fuzz_name,
+    synth_source,
+    synthesize_item,
+)
+
+__all__ = [
+    "DEFAULT_FILLS",
+    "DEFAULT_POLICIES",
+    "LEAKS",
+    "MAX_ITERATIONS",
+    "SECURE",
+    "CampaignConfig",
+    "OracleVerdict",
+    "RepairOutcome",
+    "SynthSpec",
+    "build_fuzz_workload",
+    "campaign_grid",
+    "differential_verdict",
+    "explain_divergence",
+    "parse_fuzz_name",
+    "program_verdict",
+    "repair_program",
+    "run_campaign",
+    "secret_filled",
+    "synth_source",
+    "synthesize_item",
+]

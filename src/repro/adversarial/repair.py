@@ -1,0 +1,148 @@
+"""Automatic fence repair: scan → fence one site → rescan, to fixpoint.
+
+The loop inserts exactly one fence per iteration (the lowest-pc finding
+first), because a batch insert is not minimal: a v1 gadget often carries
+two findings whose *load*-strategy sites collapse once the first fence
+closes the shared window, so fencing them together wastes a fence the
+rescan would have proven unnecessary.
+
+Termination argument (DESIGN.md, adversarial engine): each iteration
+fences a site whose refined open-window set is non-empty, and a fence
+maps the forward window fact to ∅ at that point — so either the finding's
+transmitter stops being window-covered (load strategy, guaranteed) or the
+fallthrough window the guard opened is drained (branch strategy; when the
+guard is an indirect jump or the site is already fenced, the step falls
+back to the load site).  Findings are finite and fences are never
+removed, so the scanner's finding set shrinks to ∅ or the iteration cap
+flags the program as irreparable (no synthesized or hand-written gadget
+needs more than ``len(findings)`` steps in practice).
+
+``cheapest`` runs both full strategies and keeps the one whose repaired
+program simulates in fewer cycles under the baseline policy (tie → fewer
+fences, then ``load``): the static count of fences is a poor cost proxy
+because a fallthrough fence outside the hot loop can beat a per-iteration
+transmitter fence inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.scanner import scan_program
+from ..asm.program import Program
+from ..compiler.pass_manager import insert_fences, repair_sites
+from ..errors import AnalysisError
+
+#: Iteration backstop; every known gadget class repairs in <= 2 steps.
+MAX_ITERATIONS = 16
+
+
+@dataclass
+class RepairOutcome:
+    """Result of one repair run (one strategy, driven to fixpoint)."""
+
+    program: Program            # repaired program (== input when already clean)
+    source: str                 # repaired assembly source
+    strategy: str
+    fences_inserted: int
+    iterations: int
+    clean: bool                 # scanner-clean at exit
+    steps: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program.name,
+            "strategy": self.strategy,
+            "fences_inserted": self.fences_inserted,
+            "iterations": self.iterations,
+            "clean": self.clean,
+            "steps": self.steps,
+        }
+
+
+def _repair_with(
+    program: Program, strategy: str, max_iterations: int
+) -> RepairOutcome:
+    current = program
+    steps: list[dict] = []
+    fences = 0
+    for iteration in range(max_iterations):
+        report = scan_program(current)
+        if report.clean:
+            return RepairOutcome(
+                program=current,
+                source=current.source or "",
+                strategy=strategy,
+                fences_inserted=fences,
+                iterations=iteration,
+                clean=True,
+                steps=steps,
+            )
+        finding = min(report.findings, key=lambda f: (f.pc, f.kind))
+        (site,) = repair_sites(current, [finding], strategy=strategy)
+        steps.append(
+            {
+                "iteration": iteration,
+                "finding": finding.id,
+                "kind": finding.kind,
+                "pc": finding.pc,
+                "site": site,
+            }
+        )
+        current = insert_fences(current, [site], name=program.name)
+        fences += 1
+    report = scan_program(current)
+    return RepairOutcome(
+        program=current,
+        source=current.source or "",
+        strategy=strategy,
+        fences_inserted=fences,
+        iterations=max_iterations,
+        clean=report.clean,
+        steps=steps,
+    )
+
+
+def _simulated_cycles(program: Program) -> int:
+    """Baseline-policy cycle count of the repaired program (cost signal)."""
+    from ..secure import make_policy
+    from ..uarch import OooCore
+
+    core = OooCore(program, policy=make_policy("none"))
+    return core.run().cycles
+
+
+def repair_program(
+    program: Program,
+    strategy: str = "load",
+    max_iterations: int = MAX_ITERATIONS,
+) -> RepairOutcome:
+    """Drive ``program`` to scanner-clean by iterative fence insertion.
+
+    Strategies: ``load`` fences the transmitter, ``branch`` the guard's
+    fallthrough, ``cheapest`` both-then-pick (see module docstring).
+    """
+    if strategy in ("load", "branch"):
+        return _repair_with(program, strategy, max_iterations)
+    if strategy != "cheapest":
+        raise AnalysisError(
+            f"unknown repair strategy {strategy!r}; "
+            "know load, branch, cheapest"
+        )
+    by_load = _repair_with(program, "load", max_iterations)
+    by_branch = _repair_with(program, "branch", max_iterations)
+    if by_load.clean != by_branch.clean:
+        return by_load if by_load.clean else by_branch
+    if not by_load.fences_inserted:  # already clean: identical outcomes
+        return by_load
+    load_cost = (
+        _simulated_cycles(by_load.program),
+        by_load.fences_inserted,
+        0,  # tie → load
+    )
+    branch_cost = (
+        _simulated_cycles(by_branch.program),
+        by_branch.fences_inserted,
+        1,
+    )
+    return by_load if load_cost <= branch_cost else by_branch

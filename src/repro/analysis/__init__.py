@@ -47,6 +47,7 @@ from .verifier import (
     brute_postdominators,
     verify_metadata,
 )
+from .windows import OpenWindows, open_windows
 
 __all__ = [
     "BACKWARD",
@@ -62,6 +63,7 @@ __all__ = [
     "DataflowResult",
     "Finding",
     "LiveRegisters",
+    "OpenWindows",
     "ReachingDefinitions",
     "ScanReport",
     "SecretTaint",
@@ -76,6 +78,7 @@ __all__ = [
     "entry_state",
     "live_registers",
     "make_problem",
+    "open_windows",
     "reaching_definitions",
     "run_with_crosscheck",
     "scan_counters",

@@ -23,6 +23,8 @@ clean — the scanner is secret-aware, not pattern-paranoid.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from ..asm.program import Program
@@ -41,6 +43,7 @@ from .taint import (
     TaintContext,
     entry_state,
 )
+from .windows import open_windows
 
 KIND_V1 = "spectre-v1"
 KIND_V1_CT = "spectre-v1-ct"
@@ -59,10 +62,43 @@ class Finding:
     secret_srcs: tuple[int, ...]  # load pcs where secrecy entered the lineage
     message: str
 
+    @property
+    def id(self) -> str:
+        """Stable content-derived id: same gadget ⇒ same id across runs.
+
+        Derived from the semantic fields only (not the prose message), so
+        findings deduplicate across re-scans and feed the repair loop.
+        """
+        body = json.dumps(
+            [
+                self.kind,
+                self.pc,
+                self.function,
+                self.instruction,
+                sorted(self.guards),
+                sorted(self.secret_srcs),
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode()).hexdigest()[:12]
+
+    @property
+    def branch_pc(self) -> int | None:
+        """The earliest guard opening the window (the repairer's fence site)."""
+        return min(self.guards) if self.guards else None
+
+    @property
+    def load_pc(self) -> int | None:
+        """The earliest load where secrecy entered the flagged lineage."""
+        return min(self.secret_srcs) if self.secret_srcs else None
+
     def to_dict(self) -> dict:
         return {
+            "id": self.id,
             "kind": self.kind,
             "pc": self.pc,
+            "branch_pc": self.branch_pc,
+            "load_pc": self.load_pc,
             "function": self.function,
             "instruction": self.instruction,
             "guards": list(self.guards),
@@ -136,7 +172,7 @@ def _scan_function(
         for inst in block.instructions:
             if inst.is_mem and inst.opcode.reads_rs1:
                 addr: AbsValue = state[inst.rs1]
-                guards = context.guards_of(inst.pc)
+                guards = context.transmit_guards_of(inst.pc)
                 if addr.secret and guards:
                     if indirect_target:
                         kind = KIND_V2
@@ -259,7 +295,11 @@ def scan_program(program: Program) -> ScanReport:
     covered: set[int] = set()
     for cfg in cfgs:
         covered.update(cfg.block_of_pc)
-        context = TaintContext(program=program, region_of=guards_by_pc)
+        context = TaintContext(
+            program=program,
+            region_of=guards_by_pc,
+            open_of=open_windows(cfg),
+        )
         taint = solve(cfg, SecretTaint(context))
         taints[cfg.name] = taint
         report.functions_scanned += 1
@@ -294,6 +334,10 @@ def scan_program(program: Program) -> ScanReport:
                         program=program,
                         region_of=local_guards,
                         always_speculative=window,
+                        # Landing pads are entered mid-speculation: the
+                        # injected jalr's window is open at their entry
+                        # (until a fence inside the pad drains it).
+                        open_of=open_windows(cfg, entry_guards=window),
                     ),
                 )
             )

@@ -84,17 +84,40 @@ class TaintContext:
     region_of: dict[int, frozenset[int]]  # pc -> guarding branch pcs
     always_speculative: frozenset[int] = NO_PCS  # window guards applied to all pcs
     assume_rom: bool = True
+    # pc -> guard pcs still open (no intervening fence) at that point; None
+    # disables fence refinement (transmit_guards_of falls back to raw).
+    open_of: dict[int, frozenset[int]] | None = None
 
     @property
     def has_secrets(self) -> bool:
         return bool(self.program.secret_ranges)
 
     def guards_of(self, pc: int) -> frozenset[int]:
-        """Branch pcs whose unresolved window covers the instruction at ``pc``."""
+        """Branch pcs whose unresolved window covers the instruction at ``pc``.
+
+        This is the *raw* structural map — fences do not remove guards
+        here.  Secrecy creation (:meth:`SecretTaint._load_value`) must use
+        this form: a fence before a bounds-check-bypass load changes when
+        the load issues, not whether its value is secret.
+        """
         guards = self.region_of.get(pc, NO_PCS)
         if self.always_speculative:
             guards = guards | self.always_speculative
         return guards
+
+    def transmit_guards_of(self, pc: int) -> frozenset[int]:
+        """Guards that are both structural and still *open* at ``pc``.
+
+        The transmitter check uses this fence-refined form: a fence drains
+        the pipeline, so a window opened before it is provably resolved by
+        the time anything after it issues — the transmit cannot happen
+        transiently and the gadget is not exploitable.  With no
+        ``open_of`` map attached this degrades to the raw guards.
+        """
+        guards = self.guards_of(pc)
+        if not guards or self.open_of is None:
+            return guards
+        return guards & self.open_of.get(pc, NO_PCS)
 
 
 class SecretTaint(DataflowProblem):

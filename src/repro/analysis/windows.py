@@ -1,0 +1,77 @@
+"""Fence-aware open-speculation-window analysis.
+
+The control-dependence ``region_of`` map answers "which branches does this
+instruction *structurally* sit under" — it is computed from the CFG alone
+and deliberately ignores fences.  That raw map is the right input for
+secrecy *creation* (a fence before a bounds-check-bypass load does not
+make the load's value public), but it over-approximates which windows are
+still *open* at a transmitter: a ``fence`` drains the pipeline, so every
+branch fetched before it is resolved by the time anything after it issues.
+
+:class:`OpenWindows` is the forward dataflow that refines this.  The fact
+at a program point is the set of guard pcs (conditional branches and
+``jalr`` sites) that were fetched on some path since the last ``fence``:
+
+* ``meet``  — union (a window open on any incoming path is open);
+* ``fence`` — resets the fact to the empty set;
+* a conditional branch or ``jalr`` adds its own pc.
+
+The scanner intersects this with the raw control-dependence guards at each
+transmitter (:meth:`~repro.analysis.taint.TaintContext.transmit_guards_of`):
+a transmitter is only under an *exploitable* window when some structural
+guard is also still open.  This is exactly the property the repair pass
+relies on — inserting a fence between a guard and its transmitter closes
+the window and the finding disappears, with no change to where secrecy is
+considered to originate.
+
+Orphan landing pads (spectre-v2) are entered mid-speculation through an
+injected BTB target, so their boundary fact is the set of indirect-jump
+pcs rather than the empty set (``entry_guards``).
+"""
+
+from __future__ import annotations
+
+from ..cfg.basic_block import FunctionCFG
+from ..isa import Opcode
+from .dataflow import FORWARD, DataflowProblem, solve
+from .taint import NO_PCS
+
+
+class OpenWindows(DataflowProblem):
+    """Which guard pcs may still be unresolved at each program point."""
+
+    direction = FORWARD
+
+    def __init__(self, entry_guards: frozenset[int] = NO_PCS):
+        self.entry_guards = entry_guards
+
+    def boundary(self, cfg: FunctionCFG) -> frozenset[int]:
+        return self.entry_guards
+
+    def meet(self, a: frozenset[int], b: frozenset[int]) -> frozenset[int]:
+        return a | b
+
+    def transfer_inst(self, inst, fact: frozenset[int]) -> frozenset[int]:
+        op = inst.opcode
+        if op is Opcode.FENCE:
+            return NO_PCS
+        if op.is_branch or op is Opcode.JALR:
+            return fact | {inst.pc}
+        return fact
+
+
+def open_windows(
+    cfg: FunctionCFG, entry_guards: frozenset[int] = NO_PCS
+) -> dict[int, frozenset[int]]:
+    """Per-pc open-window sets (the fact *before* each instruction)."""
+    problem = OpenWindows(entry_guards)
+    result = solve(cfg, problem)
+    out: dict[int, frozenset[int]] = {}
+    for block in cfg.blocks:
+        fact = result.entry_facts.get(block.bid)
+        if fact is None:
+            continue  # unreachable: no window can be open there
+        for inst in block.instructions:
+            out[inst.pc] = fact
+            fact = problem.transfer_inst(inst, fact)
+    return out

@@ -88,6 +88,7 @@ class Assembler:
             data_base=self.data_base,
             entry=entry if entry is not None else self.text_base,
             name=name,
+            source=source,
         )
 
     # ----------------------------------------------------------------- pass 1

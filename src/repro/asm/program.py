@@ -58,6 +58,10 @@ class Program:
     entry: int | None = None
     name: str = "program"
     analysis: "BranchDependencyInfo | None" = None
+    # Original assembly text (when assembled from source): the repair pass
+    # rewrites at the source level and reassembles, so jump tables and
+    # label arithmetic re-resolve instead of being patched in the binary.
+    source: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._by_pc = {inst.pc: inst for inst in self.instructions}

@@ -8,6 +8,11 @@ Subcommands::
     repro lint TARGET... [--expect E]    # scan many programs, gate on the result
     repro bench [--scale S] [--jobs N] [--policies ...] [--workloads ...]
     repro experiment ID... [--scale S] [--jobs N] [--cache]
+    repro fuzz [--seed N] [--count N] [--repair] [--json] [--out F]
+                                         # adversarial campaign: synthesize,
+                                         # scan, oracle-judge, repair
+    repro repair TARGET [--strategy S] [--emit F]
+                                         # fence repair + oracle certification
     repro attack NAME [--policy P] [--secret N]
     repro pipeline FILE.s [--policy P]   # per-instruction timeline view
     repro profile TARGET [--policy P] [--sort cumtime] [--json]
@@ -70,13 +75,14 @@ def _resolve_program(target: str, scale: str = "test"):
 
     if os.path.exists(target):
         return _load_source(target)
-    if target in WORKLOAD_NAMES:
+    if target in WORKLOAD_NAMES or target.startswith("fuzz/"):
         return build_workload(target, scale=scale).assemble()
     if target in ATTACKS:
         return ATTACKS[target]()
     raise ReproError(
         f"unknown target {target!r}: not a file, workload "
-        f"({', '.join(WORKLOAD_NAMES)}) or attack ({', '.join(sorted(ATTACKS))})"
+        f"({', '.join(WORKLOAD_NAMES)}), fuzz/s<seed>/i<index>/f<fill> name, "
+        f"or attack ({', '.join(sorted(ATTACKS))})"
     )
 
 
@@ -185,6 +191,30 @@ def cmd_analyze(args) -> int:
     return 0 if scan.clean and verdict.sound else 1
 
 
+def _parse_expected_counts(spec: str) -> dict[str, int]:
+    """Parse ``counts:<kind>=<n>[,<kind>=<n>...]`` into a dict."""
+    want: dict[str, int] = {}
+    body = spec[len("counts:"):]
+    for part in body.split(","):
+        kind, sep, num = part.strip().partition("=")
+        if not kind or not sep or not num.isdigit():
+            raise ReproError(
+                f"malformed --expect {spec!r}: want "
+                "counts:<kind>=<n>[,<kind>=<n>...] with integer counts"
+            )
+        want[kind] = int(num)
+    return want
+
+
+def _expect_spec(value: str) -> str:
+    if value in ("clean", "findings") or value.startswith("counts:"):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"invalid expectation {value!r} "
+        "(choose clean, findings, or counts:<kind>=<n>,...)"
+    )
+
+
 def cmd_lint(args) -> int:
     from .analysis import scan_program, verify_metadata
 
@@ -249,7 +279,151 @@ def cmd_lint(args) -> int:
             )
             return 1
         return 0
+    if args.expect and args.expect.startswith("counts:"):
+        # Exact per-kind totals across all targets; a kind not listed in
+        # the expectation must not appear at all (count 0).
+        want = _parse_expected_counts(args.expect)
+        got: dict[str, int] = {}
+        for _, scan, _ in results:
+            for kind, count in scan.counts_by_kind().items():
+                got[kind] = got.get(kind, 0) + count
+        mismatches = [
+            f"{kind}: want {want.get(kind, 0)}, got {got.get(kind, 0)}"
+            for kind in sorted(set(want) | set(got))
+            if want.get(kind, 0) != got.get(kind, 0)
+        ]
+        if mismatches:
+            print(
+                f"error: finding counts diverge from expectation — "
+                f"{'; '.join(mismatches)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     return 1 if flagged else 0
+
+
+def cmd_fuzz(args) -> int:
+    import json
+
+    from .adversarial import CampaignConfig, run_campaign
+
+    cache = _make_cache(args)
+    _install_fault_plan(args)
+    config = CampaignConfig.resolve(
+        seed=args.seed,
+        count=args.count,
+        policies=tuple(args.policies) if args.policies else None,
+        repair=args.repair,
+    )
+    runner = ParallelRunner(
+        scale="test", jobs=args.jobs, cache=cache,
+        retry_policy=_make_retry_policy(args), keep_going=args.keep_going,
+    )
+    report = run_campaign(config, runner)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    if args.json:
+        print(text)
+    else:
+        gates = report["gates"]
+        print(f"campaign: seed {config.seed}, {config.count} programs, "
+              f"policies {', '.join(config.policies)}, "
+              f"fills {', '.join(f'{f:#04x}' for f in config.fills)}")
+        rows = []
+        for cls, cm in report["scanner"]["vs_intent"].items():
+            rows.append([
+                cls, cm["tp"], cm["fp"], cm["fn"], cm["tn"],
+                f"{cm['precision']:.3f}", f"{cm['recall']:.3f}",
+            ])
+        print()
+        print(format_table(
+            ["class", "TP", "FP", "FN", "TN", "precision", "recall"], rows
+        ))
+        print()
+        summary = report["repair"]
+        if summary["repaired_items"]:
+            slowdowns = ", ".join(
+                f"{policy} {value:.3f}x"
+                for policy, value in summary["mean_slowdown"].items()
+            )
+            print(f"repair: {summary['repaired_items']} program(s), "
+                  f"mean {summary['mean_fences']:.2f} fence(s), "
+                  f"mean slowdown {slowdowns}")
+        print(f"gates: scanner recall on intended-leaky "
+              f"{gates['scanner_recall_intended_leaky']:.3f}, "
+              f"{gates['scanner_false_negatives']} scanner false negative(s), "
+              f"{gates['oracle_leaks_after_repair']} oracle leak(s) after "
+              f"repair — {'PASS' if gates['passed'] else 'FAIL'}")
+    if args.out and not args.json:
+        print(f"report written to {args.out}")
+    return 0 if report["gates"]["passed"] else 1
+
+
+def cmd_repair(args) -> int:
+    from .adversarial import program_verdict, repair_program
+    from .analysis import scan_program
+
+    program = _resolve_program(args.target)
+    before = scan_program(program)
+    verdict_before = program_verdict(program, args.policy)
+    outcome = repair_program(program, strategy=args.strategy)
+    verdict_after = program_verdict(outcome.program, args.policy)
+
+    def cycles(prog) -> int:
+        core = OooCore(prog, policy=make_policy(args.policy))
+        return core.run().cycles
+
+    base_cycles = cycles(program)
+    repaired_cycles = (
+        cycles(outcome.program) if outcome.fences_inserted else base_cycles
+    )
+    certified = outcome.clean and not verdict_after.leaks
+
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "target": args.target,
+            "policy": args.policy,
+            "strategy": outcome.strategy,
+            "before": {
+                "findings": [f.to_dict() for f in before.findings],
+                "oracle": verdict_before.verdict,
+            },
+            "after": {
+                "scanner_clean": outcome.clean,
+                "oracle": verdict_after.verdict,
+            },
+            "fences_inserted": outcome.fences_inserted,
+            "iterations": outcome.iterations,
+            "steps": outcome.steps,
+            "cycles": {"base": base_cycles, "repaired": repaired_cycles},
+            "slowdown": round(repaired_cycles / base_cycles, 4),
+            "certified": certified,
+        }, indent=2))
+    else:
+        print(f"target:    {args.target} (policy {args.policy}, "
+              f"strategy {outcome.strategy})")
+        print(f"before:    {len(before.findings)} finding(s), "
+              f"oracle {verdict_before.verdict}")
+        for step in outcome.steps:
+            print(f"  fence at {step['site']:#x} "
+                  f"(iteration {step['iteration']}, {step['kind']} "
+                  f"transmitter at {step['pc']:#x})")
+        print(f"after:     {'clean' if outcome.clean else 'STILL FLAGGED'}, "
+              f"oracle {verdict_after.verdict}")
+        print(f"cost:      {outcome.fences_inserted} fence(s), "
+              f"{base_cycles} -> {repaired_cycles} cycles "
+              f"({repaired_cycles / base_cycles:.3f}x)")
+        print(f"verdict:   {'CERTIFIED SECURE' if certified else 'NOT CERTIFIED'}")
+    if args.emit:
+        with open(args.emit, "w") as f:
+            f.write(outcome.source)
+        print(f"repaired source written to {args.emit}")
+    return 0 if certified else 1
 
 
 def _make_cache(args) -> ResultCache | None:
@@ -599,8 +773,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("targets", nargs="+", metavar="TARGET",
                    help="assembly files, workload names, or attack names")
     p.add_argument(
-        "--expect", choices=("clean", "findings"), default=None,
-        help="gate the exit code on the expected outcome (CI use)",
+        "--expect", type=_expect_spec, default=None, metavar="EXPECTATION",
+        help="gate the exit code on the expected outcome (CI use): "
+        "clean, findings, or counts:<kind>=<n>,... for exact per-kind "
+        "totals across all targets (unlisted kinds must be absent)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.set_defaults(func=cmd_lint)
@@ -746,6 +922,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--http-timeout", type=float, default=30.0,
                    metavar="SECS")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial campaign: synthesize Spectre-shaped programs, "
+        "cross-validate the scanner against the differential leakage "
+        "oracle, optionally repair every leaky program to certified-clean",
+    )
+    p.add_argument("--seed", type=int, default=7,
+                   help="corpus seed (default: 7)")
+    p.add_argument("--count", type=int, default=32, metavar="N",
+                   help="programs to synthesize (default: 32)")
+    p.add_argument("--policies", nargs="*", choices=ALL_POLICY_NAMES,
+                   help="policies to judge under (default: "
+                   "$REPRO_FUZZ_POLICIES or none fence levioso; the "
+                   "baseline 'none' is always included)")
+    p.add_argument("--repair", action="store_true",
+                   help="drive every leaky program through the fence-repair "
+                   "loop and re-judge the repaired variants")
+    p.add_argument("--json", action="store_true",
+                   help="print the full campaign report as JSON")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE")
+    add_parallel_flags(p)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "repair",
+        help="scan one program, insert the cheapest sufficient fences, "
+        "and certify the result with the differential oracle",
+    )
+    p.add_argument("target", metavar="TARGET",
+                   help="assembly file, workload/fuzz name, or attack name")
+    p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES,
+                   help="policy to certify and cost under (default: none)")
+    p.add_argument("--strategy", default="load",
+                   choices=("load", "branch", "cheapest"),
+                   help="fence placement: at the transmitter (load), the "
+                   "guard's fallthrough (branch), or simulate both and "
+                   "keep the faster (cheapest)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--emit", default=None, metavar="FILE",
+                   help="write the repaired assembly source to FILE")
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
     p.add_argument("name", choices=sorted(ATTACKS))

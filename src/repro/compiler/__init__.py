@@ -10,7 +10,12 @@ from .control_dep import (
     control_dependence_region,
     control_dependent_pcs,
 )
-from .pass_manager import ensure_analysis, run_levioso_pass
+from .pass_manager import (
+    ensure_analysis,
+    insert_fences,
+    repair_sites,
+    run_levioso_pass,
+)
 from .reconvergence import (
     BranchReconvergence,
     analyze_reconvergence,
@@ -35,7 +40,9 @@ __all__ = [
     "count_speculation_sources",
     "dynamic_dependence_stats",
     "ensure_analysis",
+    "insert_fences",
     "is_speculation_source",
+    "repair_sites",
     "reconvergence_distance",
     "run_levioso_pass",
     "static_stats",

@@ -1,16 +1,26 @@
-"""The Levioso compiler pass: program -> branch-dependency metadata.
+"""The Levioso compiler passes: metadata analysis and fence repair.
 
-Runs CFG construction, post-dominator analysis, reconvergence and control
-dependence over every function, and attaches the combined
-:class:`~repro.compiler.branch_deps.BranchDependencyInfo` to the program.
+:func:`run_levioso_pass` runs CFG construction, post-dominator analysis,
+reconvergence and control dependence over every function, and attaches the
+combined :class:`~repro.compiler.branch_deps.BranchDependencyInfo` to the
+program.
+
+:func:`insert_fences` is the repair-loop's mutation primitive (CureSpec
+shape): given transmitter/landing pcs from scanner findings, it inserts
+``fence`` instructions *at the source level* and reassembles — so label
+arithmetic, jump tables (``.dword stub``) and the ``.secret`` layout all
+re-resolve instead of being patched around in the binary.
 """
 
 from __future__ import annotations
 
+import re
+
 from ..asm.program import Program
 from ..cfg.builder import build_all_cfgs
 from ..cfg.dom import PostDominatorInfo
-from ..isa import Opcode
+from ..errors import AnalysisError
+from ..isa import INSTRUCTION_BYTES, Opcode
 from .branch_deps import BranchDependencyInfo
 from .control_dep import control_dependent_pcs
 from .reconvergence import analyze_reconvergence
@@ -42,3 +52,88 @@ def ensure_analysis(program: Program) -> BranchDependencyInfo:
     if program.analysis is None:
         return run_levioso_pass(program)
     return program.analysis
+
+
+# --------------------------------------------------------------- fence repair
+
+#: ``label:`` (or several) at the start of a source line, instruction after.
+_LABEL_PREFIX = re.compile(r"^(\s*)((?:[A-Za-z_.$][\w.$]*:\s*)+)(\S.*)$")
+
+
+def insert_fences(program: Program, pcs: list[int], name: str | None = None) -> Program:
+    """Insert a ``fence`` immediately before each instruction at ``pcs``.
+
+    Rewrites the program's assembly source and reassembles, shifting every
+    later pc by one slot — callers must re-run the scanner on the result
+    rather than reuse old pcs.  A ``label: inst`` line is split so the
+    fence lands *after* the label (jumps to the label must execute it);
+    indentation is copied from the annotated line.
+    """
+    if program.source is None:
+        raise AnalysisError(
+            f"program {program.name!r} carries no assembly source; "
+            "fence insertion rewrites source, not binaries"
+        )
+    if not pcs:
+        return program
+    lines = program.source.splitlines()
+    sites: dict[int, list[int]] = {}  # 0-based line index -> pcs (diagnostics)
+    for pc in pcs:
+        inst = program.inst_at(pc)  # raises on wild pcs: bad finding
+        if inst.source_line is None or not (1 <= inst.source_line <= len(lines)):
+            raise AnalysisError(
+                f"instruction at {pc:#x} has no source-line mapping"
+            )
+        sites.setdefault(inst.source_line - 1, []).append(pc)
+
+    for index in sorted(sites, reverse=True):
+        line = lines[index]
+        match = _LABEL_PREFIX.match(line)
+        if match and not match.group(3).startswith(("#", "//", ";")):
+            indent, labels, rest = match.groups()
+            if labels.rstrip().endswith(":") and not rest.startswith("."):
+                lines[index : index + 1] = [
+                    f"{indent}{labels.rstrip()}",
+                    f"{indent}    fence",
+                    f"{indent}    {rest}",
+                ]
+                continue
+        indent = line[: len(line) - len(line.lstrip())]
+        lines.insert(index, f"{indent}fence")
+
+    from ..asm.assembler import assemble
+
+    return assemble(
+        "\n".join(lines) + "\n", name=name or f"{program.name}+fence"
+    )
+
+
+def repair_sites(
+    program: Program, findings, strategy: str = "load"
+) -> list[int]:
+    """Map scanner findings to fence-insertion pcs for one repair step.
+
+    ``load`` hardens the transmitter itself (a fence directly before it —
+    guaranteed progress: the refined open-window set at the transmitter
+    becomes empty).  ``branch`` fences the guard's fallthrough
+    (``branch_pc + 4``), the classic cheap site — but an indirect-jump
+    guard has no fetched fallthrough (the BTB steers fetch straight to the
+    landing pad), and a site already fenced means the strategy cannot make
+    progress; both fall back to the transmitter site.
+    """
+    sites: set[int] = set()
+    for finding in findings:
+        site = finding.pc
+        if strategy == "branch" and finding.branch_pc is not None:
+            candidate = finding.branch_pc + INSTRUCTION_BYTES
+            inst = program.try_inst_at(candidate)
+            guard = program.try_inst_at(finding.branch_pc)
+            if (
+                inst is not None
+                and inst.opcode is not Opcode.FENCE
+                and guard is not None
+                and guard.opcode is not Opcode.JALR
+            ):
+                site = candidate
+        sites.add(site)
+    return sorted(sites)

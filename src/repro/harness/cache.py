@@ -92,17 +92,26 @@ def run_key(
     config_fp: str,
     use_compiler_info: bool = True,
     salt: str | None = None,
+    observe: bool = False,
 ) -> str:
-    """Content key of one (workload, policy, config) simulation."""
-    return _stable_hash(
-        {
-            "workload": workload_fp,
-            "policy": policy_name,
-            "config": config_fp,
-            "compiler_info": use_compiler_info,
-            "salt": salt if salt is not None else version_salt(),
-        }
-    )
+    """Content key of one (workload, policy, config) simulation.
+
+    ``observe`` marks runs that capture an observation-trace digest for
+    the differential leakage oracle.  It is mixed in only when set, so
+    every pre-existing key — and every plain experiment run — is
+    unchanged; observed and unobserved runs of one point are distinct
+    entries because only the former carries ``obs_digest``.
+    """
+    payload = {
+        "workload": workload_fp,
+        "policy": policy_name,
+        "config": config_fp,
+        "compiler_info": use_compiler_info,
+        "salt": salt if salt is not None else version_salt(),
+    }
+    if observe:
+        payload["observe"] = True
+    return _stable_hash(payload)
 
 
 def default_cache_dir() -> Path:

@@ -116,6 +116,7 @@ def simulate_batch(args: tuple) -> dict:
             config=cfg,
             policy=make_policy(point.policy),
             use_compiler_info=point.use_compiler_info,
+            record_observations=getattr(point, "observe", False),
         )
         core.point_label = key
         entries.append((key, core, cfg.max_cycles))

@@ -77,6 +77,9 @@ class GridPoint:
     policy: str
     use_compiler_info: bool = True
     config: CoreConfig | None = None  # None -> the runner's default config
+    # Capture an observation-trace digest (differential leakage oracle).
+    # Mixed into the run key only when True, so plain grids are unchanged.
+    observe: bool = False
 
 
 #: Backwards-compatible alias; the worker entrypoint now lives with the
@@ -146,7 +149,7 @@ class ParallelRunner(ExperimentRunner):
         for point in points:
             cfg = point.config or self.config
             key = self.run_key_for(point.workload, point.policy, cfg,
-                                   point.use_compiler_info)
+                                   point.use_compiler_info, point.observe)
             if key in seen or key in self._cache:
                 continue
             if self.cache is not None:
@@ -267,14 +270,16 @@ class ParallelRunner(ExperimentRunner):
         return items, batch_members
 
     def run(self, workload_name, policy_name, config=None,
-            use_compiler_info=True) -> RunRecord:
+            use_compiler_info=True, observe=False) -> RunRecord:
         if self.failed_points and self.keep_going:
             key = self.run_key_for(workload_name, policy_name,
-                                   config or self.config, use_compiler_info)
+                                   config or self.config, use_compiler_info,
+                                   observe)
             if key in self.failed_points:
                 return failed_run_record(workload_name, policy_name)
         return super().run(workload_name, policy_name, config=config,
-                           use_compiler_info=use_compiler_info)
+                           use_compiler_info=use_compiler_info,
+                           observe=observe)
 
 
 # --------------------------------------------------------------------- grids

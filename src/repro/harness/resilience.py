@@ -234,6 +234,7 @@ def simulate_point(args: tuple) -> RunRecord:
         point.workload,
         point.policy,
         use_compiler_info=point.use_compiler_info,
+        observe=getattr(point, "observe", False),
     )
     return record.slim()
 

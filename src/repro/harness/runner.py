@@ -50,11 +50,16 @@ class RunRecord:
     mpki: float
     core_stats: CoreStats | None = field(repr=False, default=None)
     mem_stats: dict | None = field(repr=False, default=None)
+    # Observation-trace digest of an observed run (the leakage oracle's
+    # unit of comparison); None on plain runs.  Slim and JSON-serializable,
+    # so it survives the cache like every other counter.
+    obs_digest: str | None = None
     result: SimResult | None = field(repr=False, default=None)
 
     @classmethod
     def from_result(cls, workload: str, policy: str, result: SimResult) -> "RunRecord":
         stats = result.stats
+        observations = result.observations
         return cls(
             workload=workload,
             policy=policy,
@@ -68,6 +73,9 @@ class RunRecord:
             mpki=stats.mpki,
             core_stats=stats,
             mem_stats=result.hierarchy.stats(),
+            obs_digest=(
+                observations.digest() if observations is not None else None
+            ),
             result=result,
         )
 
@@ -124,6 +132,7 @@ class ExperimentRunner:
         policy_name: str,
         config: CoreConfig | None = None,
         use_compiler_info: bool = True,
+        observe: bool = False,
     ) -> str:
         """Content key of one run (stable across processes and sessions)."""
         cfg = config or self.config
@@ -139,7 +148,7 @@ class ExperimentRunner:
         else:
             cfp = config_fingerprint(cfg)
             self._config_fps[id(cfg)] = (cfg, cfp)
-        return run_key(wfp, policy_name, cfp, use_compiler_info)
+        return run_key(wfp, policy_name, cfp, use_compiler_info, observe=observe)
 
     def run(
         self,
@@ -147,17 +156,22 @@ class ExperimentRunner:
         policy_name: str,
         config: CoreConfig | None = None,
         use_compiler_info: bool = True,
+        observe: bool = False,
     ) -> RunRecord:
         """Run one (workload, policy) pair, self-checking the result."""
         cfg = config or self.config
-        key = self.run_key_for(workload_name, policy_name, cfg, use_compiler_info)
+        key = self.run_key_for(
+            workload_name, policy_name, cfg, use_compiler_info, observe
+        )
         if not self.crosscheck:
             record = self._cache.get(key)
-            if record is not None:
+            if record is not None and (not observe or record.obs_digest):
                 return record
             if self.cache is not None:
                 record = self.cache.get(key)
-                if record is not None:
+                # Defensive: an observed key must come back with a digest
+                # (a legacy/foreign entry without one is re-simulated).
+                if record is not None and (not observe or record.obs_digest):
                     self._cache[key] = record
                     return record
         # Chaos hook: with a fault plan active, a worker-site fault
@@ -171,6 +185,7 @@ class ExperimentRunner:
             policy=make_policy(policy_name),
             use_compiler_info=use_compiler_info,
             record_pipeline=self.crosscheck,
+            record_observations=observe,
         )
         result = core.run()
         self.simulations += 1

@@ -7,7 +7,7 @@ from .dyninst import Checkpoint, DynInst, Stage
 from .energy import EnergyBreakdown, EnergyParams, energy_delay_product, estimate_energy
 from .horizon import WarpStats, warp_to_horizon
 from .stats import CoreStats
-from .trace import gate_summary, render_timeline
+from .trace import ObservationTrace, first_divergence, gate_summary, render_timeline
 
 __all__ = [
     "Checkpoint",
@@ -17,6 +17,7 @@ __all__ = [
     "DynInst",
     "EnergyBreakdown",
     "EnergyParams",
+    "ObservationTrace",
     "OooCore",
     "SimResult",
     "Stage",
@@ -24,6 +25,7 @@ __all__ = [
     "decoded_image",
     "energy_delay_product",
     "estimate_energy",
+    "first_divergence",
     "gate_summary",
     "render_timeline",
     "warp_to_horizon",

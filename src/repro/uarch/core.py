@@ -39,6 +39,7 @@ from .dyninst import Checkpoint, DynInst, Stage
 from .horizon import WATCHDOG_CYCLES as _WATCHDOG_CYCLES
 from .horizon import WarpStats, warp_to_horizon
 from .stats import CoreStats
+from .trace import ObservationTrace
 
 #: Upper bound on the DynInst free list: enough to cover the ROB + fetch
 #: queue + retire FIFO of any realistic configuration without letting a
@@ -58,6 +59,7 @@ class SimResult:
     policy_name: str
     committed_pcs: list[int] = field(default_factory=list)
     hierarchy: MemoryHierarchy | None = None
+    observations: ObservationTrace | None = None
 
     @property
     def cycles(self) -> int:
@@ -86,6 +88,7 @@ class OooCore:
         policy: SpeculationPolicy | None = None,
         record_trace: bool = False,
         record_pipeline: bool = False,
+        record_observations: bool = False,
         use_compiler_info: bool = True,
         cycle_skip: bool | None = None,
         recycle_dyninsts: bool | None = None,
@@ -96,6 +99,10 @@ class OooCore:
         self.policy = policy or NoProtection()
         self.record_trace = record_trace
         self.record_pipeline = record_pipeline
+        # Observation-trace capture for the differential leakage oracle:
+        # bit-invisible (append-only side channel out of the simulation),
+        # so observed and unobserved runs take identical simulated cycles.
+        self.observations = ObservationTrace() if record_observations else None
         self.retired: list[DynInst] = []
 
         # Pre-decoded program image: per-instruction decode (control-flow
@@ -288,6 +295,7 @@ class OooCore:
             policy_name=self.policy.name,
             committed_pcs=self.committed_pcs,
             hierarchy=self.hierarchy,
+            observations=self.observations,
         )
 
     def step(self) -> None:
@@ -850,6 +858,10 @@ class OooCore:
             # clflush semantics: the line leaves the hierarchy at execute
             # (speculative flushes do perturb the caches, as on real parts).
             self.hierarchy.flush_address(dyn.mem_address)
+            if self.observations is not None:
+                self.observations.record(
+                    "fl", inst.pc, dyn.mem_address, cycle, dyn.seq
+                )
             self._schedule(dyn, cycle, self.config.agu_latency + 1)
             return True
 
@@ -880,6 +892,9 @@ class OooCore:
             self.stats.loads_speculative_at_issue += 1
             if dyn.addr_tainted() and self.any_unresolved(dyn.addr_deps()):
                 self.stats.loads_true_dep_at_issue += 1
+        if self.observations is not None:
+            # The address reaches the memory system here — transient or not.
+            self.observations.record("ld", inst.pc, address, cycle, dyn.seq)
         if forwarding_store is not None:
             self.stats.loads_forwarded += 1
             dyn.forwarded_from = forwarding_store
@@ -979,12 +994,20 @@ class OooCore:
         inst = dyn.inst
         if inst.is_branch:
             self.stats.branch_resolutions += 1
+            if self.observations is not None:
+                self.observations.record(
+                    "br", inst.pc, int(bool(dyn.actual_taken)), cycle, dyn.seq
+                )
             self.predictor.update(inst.pc, dyn.actual_taken, dyn.predictor_context)
             if dyn.mispredicted:
                 self.stats.branch_mispredicts += 1
                 self._squash_after(dyn, cycle)
             return
         # JALR
+        if self.observations is not None:
+            self.observations.record(
+                "jr", inst.pc, dyn.actual_target, cycle, dyn.seq
+            )
         self.btb.update(inst.pc, dyn.actual_target)
         if dyn.predicted_target is None:
             # Fetch stalled on this jalr; resume at the resolved target.
@@ -1004,10 +1027,13 @@ class OooCore:
         # incrementally per squashed entry (they were consistent with the
         # full window before the squash) instead of rescanning the survivors.
         rob = self.rob
+        observations = self.observations
         squashed_n = 0
         while rob and rob[-1].seq > boundary:
             entry = rob.pop()
             entry.squashed = True
+            if observations is not None:
+                observations.squashed.add(entry.seq)
             stage = entry.stage
             entry.stage = Stage.SQUASHED
             squashed_n += 1
@@ -1117,6 +1143,10 @@ class OooCore:
                 size = opcode.access_size
                 self.memory.write_int(dyn.mem_address, dyn.store_data, size)
                 self.hierarchy.store(dyn.mem_address, cycle)
+                if self.observations is not None:
+                    self.observations.record(
+                        "st", dyn.pc, dyn.mem_address, cycle, dyn.seq
+                    )
                 if self.store_queue[0] is dyn:  # stores commit in order
                     self.store_queue.popleft()
                 else:  # pragma: no cover - defensive

@@ -1,4 +1,4 @@
-"""Pipeline-timeline rendering (Konata-style, in plain text).
+"""Pipeline-timeline rendering and observation-trace capture.
 
 Every :class:`~repro.uarch.dyninst.DynInst` already records its
 fetch/dispatch/issue/complete/commit cycles; with ``record_pipeline=True``
@@ -12,11 +12,97 @@ its delays:
 
 Legend: F fetch, D dispatch, ``-`` waiting in the IQ (operands or gate),
 ``I`` issue, ``=`` executing, ``C`` complete, ``.`` waiting, ``R`` retire.
+
+The second half of this module is the **observation trace** — the
+attacker's view of a run, in the SPECTECTOR sense: everything a
+microarchitectural observer can see.  With ``record_observations=True``
+the core appends one event per
+
+* ``ld`` — load issued to the memory system (or forwarded from a store):
+  the address reaches the cache hierarchy, *including transient loads that
+  are later squashed* (that is the Spectre channel);
+* ``fl`` — ``cflush`` executed (speculative flushes perturb the caches);
+* ``st`` — store committed (its write reaches the hierarchy at commit);
+* ``br`` / ``jr`` — conditional branch / indirect jump resolved, with the
+  actual outcome/target.
+
+Each event carries its cycle, so the trace is *timing-sensitive*: two runs
+of one program that differ only in declared-secret data produce identical
+traces iff the program leaks nothing through addresses, control flow, or
+timing.  The differential leakage oracle (:mod:`repro.adversarial.oracle`)
+compares :meth:`ObservationTrace.digest` across two secret fills.
+Recording is bit-invisible — it only appends to a side list and never
+feeds back into timing — so observed runs cost the same simulated cycles
+as unobserved ones.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 from .dyninst import DynInst
+
+
+class ObservationTrace:
+    """Microarchitectural observation events of one run.
+
+    Events are ``(kind, pc, value, cycle, seq)`` tuples appended in the
+    order the core performs them (deterministic for a deterministic run).
+    ``value`` is the accessed address for ``ld``/``st``/``fl``, the taken
+    bit for ``br`` and the resolved target for ``jr``.  ``seq`` is the
+    dynamic instruction number; :attr:`squashed` marks the seqs that were
+    later squashed, so events split into committed and transient views.
+    """
+
+    __slots__ = ("events", "squashed")
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, int, int, int, int]] = []
+        self.squashed: set[int] = set()
+
+    def record(self, kind: str, pc: int, value: int, cycle: int, seq: int) -> None:
+        self.events.append((kind, pc, value, cycle, seq))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def normalized(self) -> list[tuple[str, int, int, int, bool]]:
+        """Events as ``(kind, pc, value, cycle, transient)`` records.
+
+        The raw ``seq`` is replaced by the derived transient bit: two runs
+        are observationally equivalent iff these lists are equal.
+        """
+        squashed = self.squashed
+        return [
+            (kind, pc, value, cycle, seq in squashed)
+            for kind, pc, value, cycle, seq in self.events
+        ]
+
+    def transient_events(self) -> list[tuple[str, int, int, int, bool]]:
+        return [e for e in self.normalized() if e[4]]
+
+    def digest(self) -> str:
+        """Content hash of the normalized trace (the oracle's unit)."""
+        body = json.dumps(self.normalized(), separators=(",", ":"))
+        return hashlib.sha256(body.encode()).hexdigest()
+
+
+def first_divergence(
+    a: ObservationTrace, b: ObservationTrace
+) -> tuple[int, tuple | None, tuple | None] | None:
+    """First index where two observation traces differ, with both events.
+
+    Returns ``None`` when the traces are identical; a missing event (one
+    trace is a prefix of the other) is reported as ``None`` on that side.
+    """
+    ea, eb = a.normalized(), b.normalized()
+    for i in range(max(len(ea), len(eb))):
+        va = ea[i] if i < len(ea) else None
+        vb = eb[i] if i < len(eb) else None
+        if va != vb:
+            return i, va, vb
+    return None
 
 
 def render_timeline(

@@ -66,7 +66,17 @@ SCALES = ("test", "ref")
 
 
 def build_workload(name: str, scale: str = "ref", **overrides) -> Workload:
-    """Build one workload by name at the given scale."""
+    """Build one workload by name at the given scale.
+
+    ``fuzz/…`` names are synthesized adversarial programs — the name alone
+    encodes (seed, index, secret fill, repair state), so any worker process
+    can rebuild the exact workload without a corpus file: a fuzz campaign
+    is just another grid.
+    """
+    if name.startswith("fuzz/"):
+        from ..adversarial.synth import build_fuzz_workload
+
+        return build_fuzz_workload(name)
     if name not in _REGISTRY:
         raise KeyError(f"unknown workload {name!r}; know {sorted(_REGISTRY)}")
     if scale not in SCALES:
