@@ -1,0 +1,54 @@
+"""Fault-tolerant simulation fleet: coordinator, membership, routing.
+
+The cluster layer promotes :mod:`repro.service` from one daemon to a
+fleet: a coordinator (``repro coordinate``) consistent-hashes run-cache
+content keys across N registered ``repro serve`` workers, tracks node
+health by heartbeat, fails a dead node's in-flight jobs over to
+surviving shards as *uncharged* retries, coalesces duplicate keys
+cluster-wide, degrades to in-process serial execution when the fleet
+shrinks to zero, and federates ``/metrics`` across the fleet.
+
+Because simulations are pure functions of the content key, none of that
+machinery can change a result — only where and how many times it is
+computed.  See ``DESIGN.md`` §10 for the membership/failover protocol.
+
+Lazy exports (PEP 562), mirroring :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "HashRing": "ring",
+    "Membership": "membership",
+    "Node": "membership",
+    "ALIVE": "membership",
+    "SUSPECT": "membership",
+    "DEAD": "membership",
+    "LEFT": "membership",
+    "ClusterCoordinator": "coordinator",
+    "CoordinatorConfig": "coordinator",
+    "CoordinatorThread": "coordinator",
+    "coordinate": "coordinator",
+    "merge_samples": "federation",
+    "render_federated": "federation",
+    "request_json": "transport",
+    "cluster_chaos_smoke": "chaos",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for the next lookup
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

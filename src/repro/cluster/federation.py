@@ -1,0 +1,63 @@
+"""/metrics federation: one scrape surface for the whole fleet.
+
+The coordinator's ``/metrics`` response is three sections:
+
+1. its own ``repro_cluster_*`` registry (flights, failovers, node
+   gauges), rendered by the normal :class:`MetricsRegistry`;
+2. the fleet aggregate — every ``repro_service_*`` sample scraped from
+   the workers, summed across nodes by full sample key (name + label
+   string), so ``repro_service_simulations_total`` reads as a cluster
+   total exactly like a Prometheus ``sum by`` would;
+3. per-node reachability: ``repro_cluster_node_up{node="..."} 0|1``.
+
+Summing is the right fold for counters and for the gauge shapes the
+workers export (queue depths add; the ``_info`` gauge sums to the node
+count, which is itself informative).  Histogram ``_bucket``/``_sum``/
+``_count`` samples are cumulative per label set, so they also sum
+correctly across nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def merge_samples(texts: Iterable[str]) -> dict[str, float]:
+    """Sum Prometheus text-format samples across nodes by sample key."""
+    merged: dict[str, float] = {}
+    for text in texts:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                merged[name] = merged.get(name, 0.0) + float(value)
+            except ValueError:
+                continue
+    return merged
+
+
+def _format_value(value: float) -> str:
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def render_federated(own_text: str,
+                     node_texts: Mapping[str, str | None]) -> str:
+    """Coordinator metrics + summed fleet samples + node_up flags.
+
+    ``node_texts`` maps node id -> scraped /metrics body (None for a
+    node that could not be scraped this time — it still gets a
+    ``node_up 0`` sample, which is the signal an operator alerts on).
+    """
+    lines = [own_text.rstrip("\n")] if own_text.strip() else []
+    merged = merge_samples(t for t in node_texts.values() if t)
+    if merged:
+        lines.append("# Fleet aggregate: per-node samples summed across "
+                     f"{sum(1 for t in node_texts.values() if t)} node(s).")
+        for name in sorted(merged):
+            lines.append(f"{name} {_format_value(merged[name])}")
+    for node_id in sorted(node_texts):
+        up = 1 if node_texts[node_id] else 0
+        lines.append(f'repro_cluster_node_up{{node="{node_id}"}} {up}')
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,97 @@
+"""Consistent-hash ring over run-cache content keys.
+
+Classic Karger-style ring with virtual nodes: each worker owns
+``replicas`` points on a 64-bit circle (sha256 of ``"{node}#{i}"``), and
+a content key routes to the first node point at or after the key's own
+hash.  Properties the cluster leans on:
+
+* **Stability** — adding or removing one node remaps only the keys in
+  the arcs it owned (~1/N of the space), so a node death does not
+  reshuffle the whole fleet's cache locality, and a resurrected node
+  gets its old arcs (and its warm :class:`ResultCache`) back.
+* **Determinism** — placement is a pure function of the membership set,
+  never of arrival order, so a coordinator restart routes identically.
+
+Pure data structure: membership state machines live in
+:mod:`repro.cluster.membership`, failover policy in the coordinator.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to node ids."""
+
+    def __init__(self, replicas: int = 64):
+        self.replicas = replicas
+        self._points: list[int] = []       # sorted virtual-node hashes
+        self._owners: dict[int, str] = {}  # hash -> node id
+        self._nodes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def add(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for i in range(self.replicas):
+            point = _hash64(f"{node_id}#{i}")
+            # 64-bit sha256 collisions are negligible, but deterministic
+            # tie-breaking keeps placement independent of insert order.
+            while point in self._owners and self._owners[point] != node_id:
+                point = (point + 1) % (1 << 64)
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+                self._owners[point] = node_id
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        dead = [p for p, owner in self._owners.items() if owner == node_id]
+        for point in dead:
+            del self._owners[point]
+        dead_set = set(dead)
+        self._points = [p for p in self._points if p not in dead_set]
+
+    def node_for(self, key: str) -> str | None:
+        """The node owning ``key``, or None on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0   # wrap around the circle
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str, n: int | None = None) -> list[str]:
+        """Distinct nodes in ring order from ``key`` — the failover
+        sequence: ``preference(k)[0] == node_for(k)``, and a flight that
+        keeps failing walks down this list."""
+        if not self._points:
+            return []
+        want = len(self._nodes) if n is None else min(n, len(self._nodes))
+        out: list[str] = []
+        start = bisect.bisect_right(self._points, _hash64(key))
+        for offset in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + offset) % len(self._points)]]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == want:
+                    break
+        return out

@@ -1,0 +1,90 @@
+"""Async JSON-over-HTTP client for intra-cluster calls.
+
+The daemons' HTTP dialect is deliberately tiny (HTTP/1.1, one request
+per connection, ``Connection: close``), so the matching client is a
+hundred lines over ``asyncio.open_connection`` — no thread pool detour
+through ``urllib``, which matters because the coordinator drives dozens
+of concurrent worker calls from one event loop.
+
+Raises the usual connection-shaped exceptions (:class:`OSError`,
+:class:`asyncio.TimeoutError`) on transport failure; HTTP error statuses
+are *returned*, not raised — the caller decides what a 404 or 429 from a
+worker means for routing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from typing import Any
+
+
+async def request(method: str, url: str, payload: Any | None = None,
+                  timeout: float = 10.0) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP exchange; returns (status, lowercase headers, body)."""
+    parts = urllib.parse.urlsplit(url)
+    if parts.scheme != "http":
+        raise OSError(f"unsupported URL scheme in {url!r} (http only)")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    path = parts.path or "/"
+    if parts.query:
+        path += "?" + parts.query
+    body = json.dumps(payload).encode() if payload is not None else b""
+
+    async def exchange() -> tuple[int, dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                "Connection: close",
+                f"Content-Length: {len(body)}",
+            ]
+            if body:
+                head.append("Content-Type: application/json")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+            await writer.drain()
+
+            status_line = await reader.readline()
+            parts_ = status_line.decode("latin-1").split(None, 2)
+            if len(parts_) < 2 or not parts_[1].isdigit():
+                raise OSError(f"malformed status line from {url!r}: "
+                              f"{status_line!r}")
+            status = int(parts_[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = headers.get("content-length")
+            data = (await reader.readexactly(int(length))
+                    if length is not None else await reader.read())
+            return status, headers, data
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return await asyncio.wait_for(exchange(), timeout)
+    except asyncio.IncompleteReadError as exc:
+        raise OSError(f"connection to {url!r} closed mid-response") from exc
+
+
+async def request_json(method: str, url: str, payload: Any | None = None,
+                       timeout: float = 10.0
+                       ) -> tuple[int, dict[str, str], Any]:
+    """Like :func:`request` but decodes the body as JSON (None if empty
+    or undecodable — callers branch on the status first)."""
+    status, headers, body = await request(method, url, payload, timeout)
+    try:
+        data = json.loads(body.decode() or "null")
+    except (ValueError, UnicodeDecodeError):
+        data = None
+    return status, headers, data

@@ -31,6 +31,18 @@ Fault kinds:
 ``kill``        ``SIGKILL`` the current process (breaks the worker pool)
 ``corrupt``     not raised: returned to the caller, which garbles the
                 bytes it was about to write (cache-store site only)
+``node_kill``   ``SIGKILL`` the current process at the ``node`` site — a
+                whole worker *daemon* dies mid-campaign (the cluster
+                coordinator must fail its in-flight jobs over)
+``heartbeat_loss``  not raised: returned to the caller — the daemon's
+                membership loop goes silent for ``hang_seconds``,
+                modelling a network partition (the node keeps running
+                but the coordinator declares it dead)
+
+The ``node`` site is consulted once per heartbeat with the key
+``"{node_id}/hb{seq}"``, so a drill can target e.g. exactly the fourth
+heartbeat of worker ``w1`` (``match="w1/hb4"``) — deterministically
+mid-campaign rather than at startup.
 """
 
 from __future__ import annotations
@@ -51,8 +63,13 @@ from .errors import HarnessError, InjectedFault
 #: inherit it from the coordinator through the process pool).
 FAULT_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("exception", "io_error", "hang", "kill", "corrupt")
-FAULT_SITES = ("worker", "cache.get", "cache.put")
+FAULT_KINDS = ("exception", "io_error", "hang", "kill", "corrupt",
+               "node_kill", "heartbeat_loss")
+FAULT_SITES = ("worker", "cache.get", "cache.put", "node")
+
+#: Kinds that are *returned* by :func:`maybe_fault` instead of executed:
+#: the caller owns the failure (garbling bytes, suppressing heartbeats).
+PASSIVE_KINDS = ("corrupt", "heartbeat_loss")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,7 +181,7 @@ class FaultPlan:
         if spec.kind == "hang":
             time.sleep(spec.hang_seconds)
             return
-        if spec.kind == "kill":
+        if spec.kind in ("kill", "node_kill"):
             os.kill(os.getpid(), signal.SIGKILL)
 
     # ----------------------------------------------------------- environment
@@ -220,9 +237,10 @@ def active_plan() -> FaultPlan | None:
 def maybe_fault(site: str, key: str) -> FaultSpec | None:
     """Consult the active plan at an injection site.
 
-    Active kinds (exception / io_error / hang / kill) are executed here;
-    the passive ``corrupt`` kind is returned so the caller — the cache
-    store — can garble the bytes it was about to write.
+    Active kinds (exception / io_error / hang / kill / node_kill) are
+    executed here; passive kinds (``corrupt``, ``heartbeat_loss``) are
+    returned so the caller — the cache store, the daemon's membership
+    loop — can own the failure itself.
     """
     plan = active_plan()
     if plan is None:
@@ -230,7 +248,7 @@ def maybe_fault(site: str, key: str) -> FaultSpec | None:
     spec = plan.check(site, key)
     if spec is None:
         return None
-    if spec.kind != "corrupt":
+    if spec.kind not in PASSIVE_KINDS:
         plan.fire(spec, site, key)
     return spec
 

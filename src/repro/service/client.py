@@ -22,10 +22,17 @@ from typing import Any, Iterable
 
 from ..errors import ReproError
 from ..harness.cache import ResultCache
+from ..harness.resilience import RetryPolicy
 from ..harness.runner import RunRecord
 
 #: Default daemon location; override per-call or via ``$REPRO_SERVICE_URL``.
 DEFAULT_URL = "http://127.0.0.1:8765"
+
+#: Default transport retry: a handful of attempts with exponential
+#: backoff + deterministic jitter, enough to ride out a daemon restart
+#: or a dropped connection without masking a daemon that is really down.
+DEFAULT_RETRY = RetryPolicy(max_attempts=4, base_delay=0.1, backoff=2.0,
+                            max_delay=2.0, jitter=0.5)
 
 
 class ServiceError(ReproError):
@@ -70,28 +77,50 @@ def parse_metrics(text: str) -> dict[str, float]:
 
 
 class ServiceClient:
-    """Blocking client for one ``repro serve`` daemon."""
+    """Blocking client for one ``repro serve`` daemon.
 
-    def __init__(self, base_url: str | None = None, timeout: float = 30.0):
+    Transient transport failures (connection refused/reset mid-restart,
+    dropped sockets) are retried per ``retry_policy`` with exponential
+    backoff and deterministic jitter keyed on the request path — safe
+    because every API call here is idempotent: submits are coalesced by
+    content key server-side, and polls are pure reads.  HTTP error
+    *responses* are never retried at this layer; they are real answers.
+    """
+
+    def __init__(self, base_url: str | None = None, timeout: float = 30.0,
+                 retry_policy: RetryPolicy | None = None):
         self.base_url = (base_url or default_url()).rstrip("/")
         self.timeout = timeout
+        self.retry_policy = DEFAULT_RETRY if retry_policy is None \
+            else retry_policy
+        self.transport_retries = 0   # observability: total retried sends
 
     # ------------------------------------------------------------ transport
     def _request(self, method: str, path: str,
                  payload: Any | None = None) -> tuple[int, dict, bytes]:
         body = json.dumps(payload).encode() if payload is not None else None
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.status, dict(resp.headers), resp.read()
-        except urllib.error.HTTPError as exc:
-            return exc.code, dict(exc.headers), exc.read()
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc}") from exc
+        policy = self.retry_policy
+        last: Exception | None = None
+        for attempt in range(max(policy.max_attempts, 1)):
+            if attempt:
+                self.transport_retries += 1
+                time.sleep(policy.delay(attempt, key=f"{method} {path}"))
+            request = urllib.request.Request(
+                self.base_url + path, data=body, method=method,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as resp:
+                    return resp.status, dict(resp.headers), resp.read()
+            except urllib.error.HTTPError as exc:
+                return exc.code, dict(exc.headers), exc.read()
+            except (urllib.error.URLError, ConnectionResetError,
+                    OSError) as exc:
+                last = exc
+        raise ServiceError(
+            f"cannot reach service at {self.base_url} after "
+            f"{max(policy.max_attempts, 1)} attempt(s): {last}") from last
 
     def _json(self, method: str, path: str,
               payload: Any | None = None) -> Any:

@@ -34,37 +34,60 @@ bit-identical to a serial in-process run.
 **Drain**: SIGTERM/SIGINT stop admission (503), let queued + in-flight
 jobs finish (bounded by ``drain_timeout``), then exit 0 — an accepted
 job is never dropped by shutdown short of the timeout.
+
+**Cluster membership**: with ``register_url`` set the daemon becomes a
+fleet worker — it registers with a :mod:`repro.cluster` coordinator,
+heartbeats on an interval, re-registers after a coordinator restart or
+a partition (a heartbeat answered 404 means "I don't know you"), and
+deregisters *before* draining so the coordinator stops routing to it.
+The membership loop consults the fault plan at the ``node`` site once
+per heartbeat (key ``"{node_id}/hb{seq}"``), which is how the cluster
+chaos drill kills a worker or partitions it mid-campaign.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
-import json
+import os
 import signal
 import sys
 import threading
+import uuid
 
 from .. import __version__
 from ..harness.cache import ResultCache
 from ..harness.resilience import RetryPolicy
 from ..harness.runner import RunRecord
+from .httpd import HttpError, JsonHttpServer, json_bytes
 from .jobs import (
     DONE,
     BadRequest,
+    BatchTooLarge,
     Flight,
     Job,
     JobStore,
     RunKeyer,
     RunRequest,
+    parse_submission,
 )
 from .metrics import MetricsRegistry, record_cache_stats
 from .queue import AdmissionQueue, QueueFull
 from .scheduler import Scheduler
 
-MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Largest accepted batch; beyond this a client should chunk.
 MAX_BATCH = 1024
+
+# Compatibility aliases — the HTTP plumbing moved to .httpd.
+_HttpError = HttpError
+_json_bytes = json_bytes
+
+
+def default_heartbeat_interval() -> float:
+    try:
+        return float(os.environ.get("REPRO_HEARTBEAT_INTERVAL", ""))
+    except ValueError:
+        return 1.0
 
 
 @dataclasses.dataclass
@@ -81,33 +104,25 @@ class ServiceConfig:
     use_cache: bool = False        # persist results across restarts
     drain_timeout: float = 60.0    # grace period on SIGTERM
     history: int = 4096            # completed jobs kept addressable
+    # --- cluster membership (all optional; None = standalone daemon) ---
+    register_url: str | None = None   # coordinator base URL to join
+    node_id: str | None = None        # stable fleet identity (default: random)
+    advertise_url: str | None = None  # URL the coordinator reaches us at
+    heartbeat_interval: float | None = None  # default: $REPRO_HEARTBEAT_INTERVAL or 1s
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(max_attempts=max(self.retries + 1, 1),
                            timeout=self.timeout)
 
 
-class _HttpError(Exception):
-    def __init__(self, status: int, message: str,
-                 headers: dict[str, str] | None = None):
-        self.status = status
-        self.message = message
-        self.headers = headers or {}
-
-
-_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-class SimulationService:
+class SimulationService(JsonHttpServer):
     """Owns the queue, scheduler, job store and HTTP front end."""
+
+    server_label = "repro-serve"
 
     def __init__(self, config: ServiceConfig | None = None,
                  metrics: MetricsRegistry | None = None):
+        super().__init__()
         self.config = config or ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.keyer = RunKeyer()
@@ -126,9 +141,16 @@ class SimulationService:
             cache=self.cache,
         )
         self.draining = False
-        self._server: asyncio.AbstractServer | None = None
         self._stopped = asyncio.Event()
-        self.port: int | None = None   # bound port (after start)
+        self.node_id = (self.config.node_id
+                        or f"node-{uuid.uuid4().hex[:8]}")
+        self.heartbeat_interval = (
+            self.config.heartbeat_interval
+            if self.config.heartbeat_interval is not None
+            else default_heartbeat_interval())
+        self.heartbeats_sent = 0
+        self._membership_task: asyncio.Task | None = None
+        self._registered = False
 
         m = self.metrics
         self.m_requests = m.counter(
@@ -159,9 +181,10 @@ class SimulationService:
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
         self.scheduler.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        await self.bind(self.config.host, self.config.port)
+        if self.config.register_url:
+            self._membership_task = asyncio.get_running_loop().create_task(
+                self._membership_loop())
 
     async def drain_and_stop(self) -> bool:
         """Stop admission, finish accepted work, shut down.  True iff
@@ -170,13 +193,83 @@ class SimulationService:
             await self._stopped.wait()
             return True
         self.draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self._leave_cluster()
+        await self.close_server()
         drained = await self.scheduler.drain(self.config.drain_timeout)
         await self.scheduler.stop(wait_workers=drained)
         self._stopped.set()
         return drained
+
+    # ----------------------------------------------------------- membership
+    async def _leave_cluster(self) -> None:
+        """Drain-aware deregistration: tell the coordinator we're leaving
+        *before* the socket closes, so it stops routing to us instead of
+        declaring us dead and re-running our in-flight work."""
+        if self._membership_task is not None:
+            self._membership_task.cancel()
+            try:
+                await self._membership_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._membership_task = None
+        if not self._registered:
+            return
+        from ..cluster.transport import request_json
+
+        base = self.config.register_url.rstrip("/")
+        try:
+            await request_json(
+                "DELETE", f"{base}/v1/nodes/{self.node_id}", timeout=3.0)
+        except (OSError, asyncio.TimeoutError):
+            pass  # coordinator gone; its sweep will notice anyway
+        self._registered = False
+
+    async def _membership_loop(self) -> None:
+        """Register with the coordinator, then heartbeat forever.
+
+        Self-healing by design: a failed or 404'd heartbeat flips back to
+        the register step, so the worker survives coordinator restarts
+        and rejoins after a partition.  Each beat consults the fault plan
+        (site ``node``, key ``{node_id}/hb{seq}``) — ``node_kill``
+        SIGKILLs this process inside :func:`repro.faults.maybe_fault`;
+        ``heartbeat_loss`` is passive, so we go silent here instead.
+        """
+        from ..cluster.transport import request_json
+        from ..faults import maybe_fault
+
+        base = self.config.register_url.rstrip("/")
+        advertise = (self.config.advertise_url
+                     or f"http://{self.config.host}:{self.port}")
+        interval = max(self.heartbeat_interval, 0.05)
+        while not self.draining:
+            self.heartbeats_sent += 1
+            spec = maybe_fault("node", f"{self.node_id}/hb{self.heartbeats_sent}")
+            if spec is not None and spec.kind == "heartbeat_loss":
+                await asyncio.sleep(spec.hang_seconds)
+                self._registered = False  # assume we were declared dead
+                continue
+            try:
+                if not self._registered:
+                    status, _, _ = await request_json(
+                        "POST", base + "/v1/nodes",
+                        {"id": self.node_id, "url": advertise},
+                        timeout=5.0)
+                    self._registered = status < 400
+                if self._registered:
+                    status, _, _ = await request_json(
+                        "POST", f"{base}/v1/nodes/{self.node_id}/heartbeat",
+                        {
+                            "queue_depth": len(self.queue),
+                            "running": len(self.scheduler.inflight),
+                            "draining": self.draining,
+                        },
+                        timeout=5.0)
+                    if status == 404:   # coordinator restarted: re-register
+                        self._registered = False
+                        continue
+            except (OSError, asyncio.TimeoutError):
+                pass  # coordinator unreachable; keep trying
+            await asyncio.sleep(interval)
 
     # ------------------------------------------------------------ admission
     def submit(self, requests: list[RunRequest]) -> list[Job]:
@@ -255,6 +348,7 @@ class SimulationService:
         return {
             "status": "draining" if self.draining else "ok",
             "version": __version__,
+            "node_id": self.node_id,
             "queue_depth": len(self.queue),
             "queue_capacity": self.queue.depth,
             "running": len(self.scheduler.inflight),
@@ -280,27 +374,17 @@ class SimulationService:
 
     def _parse_submission(self, body: bytes) -> list[RunRequest]:
         try:
-            payload = json.loads(body.decode() or "null")
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
-        if isinstance(payload, dict) and "runs" in payload:
-            runs = payload["runs"]
-            if not isinstance(runs, list) or not runs:
-                raise _HttpError(400, '"runs" must be a non-empty array')
-        elif isinstance(payload, dict):
-            runs = [payload]
-        else:
-            raise _HttpError(
-                400, "body must be a run object or {\"runs\": [...]}")
-        if len(runs) > MAX_BATCH:
-            raise _HttpError(413, f"batch too large (max {MAX_BATCH})")
-        try:
-            return [RunRequest.from_dict(r) for r in runs]
+            return parse_submission(body, max_batch=MAX_BATCH)
+        except BatchTooLarge as exc:
+            raise _HttpError(413, str(exc)) from exc
         except BadRequest as exc:
             raise _HttpError(400, str(exc)) from exc
 
-    def _route(self, method: str, path: str, body: bytes
-               ) -> tuple[int, dict[str, str], bytes, str]:
+    def on_response(self, endpoint: str, status: int) -> None:
+        self.m_requests.inc(endpoint=endpoint, code=str(status))
+
+    def route(self, method: str, path: str, body: bytes
+              ) -> tuple[int, dict[str, str], bytes, str]:
         """Dispatch; returns (status, extra headers, body, endpoint label)."""
         if path == "/healthz":
             if method != "GET":
@@ -340,70 +424,6 @@ class SimulationService:
             return 200, {}, _json_bytes(job.describe()), "/v1/runs/{id}"
         raise _HttpError(404, f"no route for {path}")
 
-    # ------------------------------------------------------------------ http
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        endpoint = "?"
-        try:
-            status, headers, payload, endpoint = await self._handle_request(
-                reader)
-        except _HttpError as exc:
-            status = exc.status
-            headers = dict(exc.headers)
-            payload = _json_bytes({"error": exc.message, "status": status})
-        except (asyncio.IncompleteReadError, ConnectionError,
-                asyncio.TimeoutError):
-            writer.close()
-            return
-        except Exception as exc:  # never let one request kill the daemon
-            status, headers = 500, {}
-            payload = _json_bytes({"error": f"internal error: {exc}",
-                                   "status": 500})
-        self.m_requests.inc(endpoint=endpoint, code=str(status))
-        reason = _REASONS.get(status, "Unknown")
-        head = [f"HTTP/1.1 {status} {reason}"]
-        base = {
-            "Content-Type": "application/json; charset=utf-8",
-            "Content-Length": str(len(payload)),
-            "Connection": "close",
-            "Server": f"repro-serve/{__version__}",
-        }
-        base.update(headers)
-        head += [f"{k}: {v}" for k, v in base.items()]
-        try:
-            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
-            pass
-
-    async def _handle_request(self, reader: asyncio.StreamReader
-                              ) -> tuple[int, dict[str, str], bytes, str]:
-        request_line = await asyncio.wait_for(reader.readline(), 30.0)
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _HttpError(400, "malformed request line")
-        method, target, _version = parts
-        headers: dict[str, str] = {}
-        while True:
-            line = await asyncio.wait_for(reader.readline(), 30.0)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
-            raise _HttpError(413, f"body too large (max {MAX_BODY_BYTES}B)")
-        body = (await asyncio.wait_for(reader.readexactly(length), 30.0)
-                if length else b"")
-        path = target.split("?", 1)[0]
-        return self._route(method.upper(), path, body)
-
-
-def _json_bytes(payload) -> bytes:
-    return (json.dumps(payload, indent=2) + "\n").encode()
-
 
 # ----------------------------------------------------------------- serving
 async def _serve(config: ServiceConfig, ready=None) -> int:
@@ -430,6 +450,11 @@ async def _serve(config: ServiceConfig, ready=None) -> int:
     print(f"repro serve: listening on http://{config.host}:{service.port} "
           f"({config.jobs} worker(s), queue depth {config.queue_depth})",
           flush=True)
+    if config.register_url:
+        print(f"repro serve: joining cluster at {config.register_url} "
+              f"as {service.node_id} "
+              f"(heartbeat {service.heartbeat_interval:g}s)",
+              flush=True)
     if ready is not None:
         ready(service)
     await service._stopped.wait()

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import json
+import re
 import time
 import uuid
 from typing import Any
@@ -41,6 +43,21 @@ DEFAULT_PRIORITY = 10
 
 class BadRequest(ReproError):
     """A submission that can never be simulated (HTTP 400, not 429)."""
+
+
+class BatchTooLarge(BadRequest):
+    """More runs in one submission than the daemon accepts (HTTP 413)."""
+
+
+#: Self-describing adversarial workload names (repro.adversarial.synth):
+#: the name alone rebuilds the program, so any node can simulate it.
+_FUZZ_NAME_RE = re.compile(
+    r"^fuzz/s\d+/i\d+/f[0-9a-f]{2}(/repaired)?$")
+
+
+def is_valid_workload(name: Any) -> bool:
+    return isinstance(name, str) and (
+        name in WORKLOAD_NAMES or bool(_FUZZ_NAME_RE.match(name)))
 
 
 def _validated_config(overrides: dict[str, Any]) -> CoreConfig:
@@ -88,10 +105,11 @@ class RunRequest:
             raise BadRequest(f"unknown request field(s): "
                              f"{', '.join(sorted(unknown))}")
         workload = payload.get("workload")
-        if workload not in WORKLOAD_NAMES:
+        if not is_valid_workload(workload):
             raise BadRequest(
                 f"unknown workload {workload!r} "
-                f"(choices: {', '.join(WORKLOAD_NAMES)})"
+                f"(choices: {', '.join(WORKLOAD_NAMES)}, or a "
+                f"fuzz/s<seed>/i<index>/f<fill> adversarial name)"
             )
         policy = payload.get("policy", "none")
         if policy not in ALL_POLICY_NAMES:
@@ -145,6 +163,31 @@ class RunRequest:
                 if getattr(self.config, f.name) != getattr(defaults, f.name)
             }
         return out
+
+
+def parse_submission(body: bytes, max_batch: int = 1024) -> list[RunRequest]:
+    """Decode a POST /v1/runs body into validated requests.
+
+    Shared by the single-node daemon and the cluster coordinator so the
+    two front ends accept byte-identical submissions.  Raises
+    :class:`BadRequest` (HTTP 400 shape) or :class:`BatchTooLarge`
+    (HTTP 413 shape).
+    """
+    try:
+        payload = json.loads(body.decode() or "null")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequest(f"body is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and "runs" in payload:
+        runs = payload["runs"]
+        if not isinstance(runs, list) or not runs:
+            raise BadRequest('"runs" must be a non-empty array')
+    elif isinstance(payload, dict):
+        runs = [payload]
+    else:
+        raise BadRequest("body must be a run object or {\"runs\": [...]}")
+    if len(runs) > max_batch:
+        raise BatchTooLarge(f"batch too large (max {max_batch})")
+    return [RunRequest.from_dict(r) for r in runs]
 
 
 class RunKeyer:
