@@ -40,7 +40,7 @@ BASELINE = pathlib.Path(__file__).resolve().parent / "baseline_perf.json"
 
 WORKLOADS = ("gather", "branchy", "treewalk")
 POLICY = "levioso"
-ROUNDS = 3  # best-of-N wall-clock
+ROUNDS = 5  # best-of-N wall-clock (noisy shared runners: more draws)
 HISTORY_CAP = 50  # oldest entries beyond this are dropped
 
 #: Geomean speedup vs seed required when the absolute gate is armed.
@@ -58,6 +58,7 @@ _FEATURE_FLAGS = {
     "cycle_skip": "REPRO_NO_CYCLE_SKIP",
     "dyn_pool": "REPRO_NO_DYN_POOL",
     "specialize": "REPRO_NO_SPECIALIZE",
+    "superblock": "REPRO_NO_SUPERBLOCK",
     "lockstep": "REPRO_NO_LOCKSTEP",
 }
 
@@ -68,6 +69,7 @@ _LEGACY_FEATURES = {
     "cycle_skip": True,
     "dyn_pool": True,
     "specialize": False,
+    "superblock": False,
     "lockstep": False,
 }
 

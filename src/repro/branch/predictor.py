@@ -109,29 +109,35 @@ class BranchTargetBuffer:
 class ReturnAddressStack:
     """Bounded return-address stack operated speculatively at fetch.
 
-    The core snapshots/restores it around control speculation; snapshots are
-    cheap tuples because the stack depth is small.
+    The state is a persistent (immutable) tuple rebuilt on push/pop, which
+    makes :meth:`checkpoint` a zero-copy reference grab.  The core snapshots
+    once per fetched branch/jalr but mutates only on calls and returns, so
+    snapshots vastly outnumber mutations; the stack depth is small, keeping
+    the rebuilt tuples cheap.
     """
 
     def __init__(self, depth: int = 16):
         self.depth = depth
-        self._stack: list[int] = []
+        self._stack: tuple[int, ...] = ()
 
     def push(self, return_pc: int) -> None:
-        if len(self._stack) == self.depth:
-            self._stack.pop(0)
-        self._stack.append(return_pc)
+        stack = self._stack
+        if len(stack) == self.depth:
+            stack = stack[1:]
+        self._stack = stack + (return_pc,)
 
     def pop(self) -> int | None:
-        if self._stack:
-            return self._stack.pop()
+        stack = self._stack
+        if stack:
+            self._stack = stack[:-1]
+            return stack[-1]
         return None
 
     def checkpoint(self) -> tuple[int, ...]:
-        return tuple(self._stack)
+        return self._stack
 
     def restore(self, checkpoint: tuple[int, ...]) -> None:
-        self._stack = list(checkpoint)
+        self._stack = tuple(checkpoint)
 
 
 class AlwaysTaken(DirectionPredictor):

@@ -2,25 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from .bimodal import BimodalPredictor
 from .gshare import GsharePredictor
-from .predictor import DirectionPredictor, SaturatingCounter
-
-
-@dataclass(frozen=True, slots=True)
-class _TournamentContext:
-    bimodal_pred: bool
-    gshare_pred: bool
-    gshare_ctx: object
+from .predictor import _TAKEN_THRESHOLD, DirectionPredictor, SaturatingCounter
 
 
 class TournamentPredictor(DirectionPredictor):
     """Alpha-21264-style hybrid.
 
     The chooser counter trains toward whichever component was correct when
-    they disagreed at fetch time (captured in the prediction context).
+    they disagreed at fetch time (captured in the prediction context, a
+    ``(bimodal_pred, gshare_pred, gshare_index)`` tuple).
+
+    ``predict`` is among the hottest calls in the simulator's front end
+    (once per fetched conditional branch), so the component tables are
+    flattened into local aliases here instead of chaining through three
+    sub-predictor calls.  The component objects still own their tables —
+    ``SaturatingCounter`` mutates its list in place and never rebinds it,
+    so the aliases stay coherent with component-level training.
     """
 
     name = "tournament"
@@ -29,27 +28,46 @@ class TournamentPredictor(DirectionPredictor):
         self._bimodal = BimodalPredictor(entries)
         self._gshare = GsharePredictor(entries, history_bits)
         self._chooser = SaturatingCounter(entries)  # >=2 -> use gshare
+        # Flattened table aliases for the fetch-path fast reads.
+        self._bim_table = self._bimodal._counters._table
+        self._bim_mask = self._bimodal._counters._mask
+        self._gsh_table = self._gshare._counters._table
+        self._gsh_mask = self._gshare._counters._mask
+        self._cho_table = self._chooser._table
+        self._cho_mask = self._chooser._mask
 
     def predict(self, pc: int) -> tuple[bool, object]:
-        bimodal_pred, _ = self._bimodal.predict(pc)
-        gshare_pred, gshare_ctx = self._gshare.predict(pc)
-        chosen = gshare_pred if self._chooser.predict(pc >> 2) else bimodal_pred
-        return chosen, _TournamentContext(bimodal_pred, gshare_pred, gshare_ctx)
+        i = pc >> 2
+        gshare_index = i ^ self._gshare._history
+        bimodal_pred = self._bim_table[i & self._bim_mask] >= _TAKEN_THRESHOLD
+        gshare_pred = (
+            self._gsh_table[gshare_index & self._gsh_mask] >= _TAKEN_THRESHOLD
+        )
+        chosen = (
+            gshare_pred
+            if self._cho_table[i & self._cho_mask] >= _TAKEN_THRESHOLD
+            else bimodal_pred
+        )
+        return chosen, (bimodal_pred, gshare_pred, gshare_index)
 
     def on_speculative_branch(self, pc: int, predicted_taken: bool) -> None:
-        self._gshare.on_speculative_branch(pc, predicted_taken)
+        g = self._gshare
+        g._history = (
+            (g._history << 1) | (1 if predicted_taken else 0)
+        ) & g._history_mask
 
     def update(self, pc: int, taken: bool, context: object = None) -> None:
-        if isinstance(context, _TournamentContext):
-            if context.bimodal_pred != context.gshare_pred:
-                self._chooser.update(pc >> 2, context.gshare_pred == taken)
-            self._gshare.update(pc, taken, context.gshare_ctx)
+        if type(context) is tuple:
+            bimodal_pred, gshare_pred, gshare_ctx = context
+            if bimodal_pred != gshare_pred:
+                self._chooser.update(pc >> 2, gshare_pred == taken)
+            self._gshare.update(pc, taken, gshare_ctx)
         else:
             self._gshare.update(pc, taken)
         self._bimodal.update(pc, taken)
 
     def history_checkpoint(self) -> int:
-        return self._gshare.history_checkpoint()
+        return self._gshare._history
 
     def history_restore(self, checkpoint: int) -> None:
-        self._gshare.history_restore(checkpoint)
+        self._gshare._history = checkpoint

@@ -73,6 +73,10 @@ class Cache:
         self.line_bits = geometry.line_bytes.bit_length() - 1
         if (1 << self.line_bits) != geometry.line_bytes:
             raise ConfigError(f"line size {geometry.line_bytes} not a power of two")
+        # num_sets is a power of two (CacheGeometry enforces it), so the
+        # set/tag split is a mask + shift.
+        self._set_mask = self.num_sets - 1
+        self._set_bits = self.num_sets.bit_length() - 1
         self._tags: list[list[int]] = [[0] * geometry.assoc for _ in range(self.num_sets)]
         self._valid: list[list[bool]] = [
             [False] * geometry.assoc for _ in range(self.num_sets)
@@ -80,6 +84,10 @@ class Cache:
         self._dirty: list[list[bool]] = [
             [False] * geometry.assoc for _ in range(self.num_sets)
         ]
+        # Presence index: per-set {tag: way}, kept in sync with the way
+        # arrays by fill/invalidate so the per-access way search is one
+        # dict probe instead of an associativity-wide scan.
+        self._map: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
         self._repl = make_replacement(geometry.replacement, self.num_sets, geometry.assoc)
         self.stats = CacheStats()
 
@@ -88,16 +96,11 @@ class Cache:
         return address >> self.line_bits
 
     def _set_tag(self, line: int) -> tuple[int, int]:
-        return line % self.num_sets, line // self.num_sets
+        return line & self._set_mask, line >> self._set_bits
 
     def _find(self, line: int) -> tuple[int, int | None]:
-        set_index, tag = self._set_tag(line)
-        tags = self._tags[set_index]
-        valid = self._valid[set_index]
-        for way in range(self.geometry.assoc):
-            if valid[way] and tags[way] == tag:
-                return set_index, way
-        return set_index, None
+        set_index = line & self._set_mask
+        return set_index, self._map[set_index].get(line >> self._set_bits)
 
     # -------------------------------------------------------------- queries
     def contains(self, address: int) -> bool:
@@ -108,8 +111,9 @@ class Cache:
     # -------------------------------------------------------------- accesses
     def access(self, address: int, is_write: bool) -> bool:
         """Look up the line; updates recency and stats.  True on hit."""
-        line = self.line_of(address)
-        set_index, way = self._find(line)
+        line = address >> self.line_bits
+        set_index = line & self._set_mask
+        way = self._map[set_index].get(line >> self._set_bits)
         if way is None:
             self.stats.misses += 1
             return False
@@ -132,17 +136,21 @@ class Cache:
             if dirty:
                 self._dirty[set_index][way] = True
             return None
-        _, tag = self._set_tag(line)
+        tag = line >> self._set_bits
         victim_way = self._repl.victim(set_index, self._valid[set_index])
         evicted: int | None = None
+        tag_map = self._map[set_index]
         if self._valid[set_index][victim_way]:
             self.stats.evictions += 1
             if self._dirty[set_index][victim_way]:
                 self.stats.writebacks += 1
-            evicted = self._tags[set_index][victim_way] * self.num_sets + set_index
+            victim_tag = self._tags[set_index][victim_way]
+            evicted = victim_tag * self.num_sets + set_index
+            del tag_map[victim_tag]
         self._tags[set_index][victim_way] = tag
         self._valid[set_index][victim_way] = True
         self._dirty[set_index][victim_way] = dirty
+        tag_map[tag] = victim_way
         self._repl.on_fill(set_index, victim_way)
         return evicted
 
@@ -156,6 +164,7 @@ class Cache:
             self.stats.writebacks += 1
         self._valid[set_index][way] = False
         self._dirty[set_index][way] = False
+        del self._map[set_index][line >> self._set_bits]
         self.stats.flushes += 1
         return True
 

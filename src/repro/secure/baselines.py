@@ -33,6 +33,7 @@ class NoProtection(SpeculationPolicy):
     """Unsafe baseline: every load issues as soon as it is ready."""
 
     name = "none"
+    uses_taint_roots = False
 
     def may_issue_load(self, dyn: "DynInst", core: "OooCore") -> bool:
         return True
@@ -49,6 +50,7 @@ class FencePolicy(SpeculationPolicy):
     """
 
     name = "fence"
+    uses_taint_roots = False
     protects_speculative_secrets = True
     protects_nonspeculative_secrets = True
 
@@ -68,6 +70,7 @@ class DelayOnMissPolicy(SpeculationPolicy):
     """
 
     name = "dom"
+    uses_taint_roots = False
     protects_speculative_secrets = True
     protects_nonspeculative_secrets = True
 
@@ -95,6 +98,7 @@ class NdaPolicy(SpeculationPolicy):
     """
 
     name = "nda"
+    uses_taint_roots = False
     protects_speculative_secrets = True
     protects_nonspeculative_secrets = False
 
@@ -145,6 +149,7 @@ class CttPolicy(SpeculationPolicy):
     """
 
     name = "ctt"
+    uses_taint_roots = False
     protects_speculative_secrets = True
     protects_nonspeculative_secrets = True
 

@@ -50,6 +50,7 @@ class LeviosoPolicy(SpeculationPolicy):
     """
 
     name = "levioso"
+    uses_taint_roots = False
     protects_speculative_secrets = True
     protects_nonspeculative_secrets = True
 
@@ -70,13 +71,34 @@ class LeviosoPolicy(SpeculationPolicy):
         return not live
 
     def may_issue_load(self, dyn: "DynInst", core: "OooCore") -> bool:
-        if not dyn.addr_tainted():
-            # Address provably derives from no memory value: transmitting it
-            # reveals only register-computed data, public in both models.
-            return True
-        return self._deps_safe(dyn.addr_deps(), dyn, core)
+        # Fused form of ``addr_tainted()`` + ``addr_deps()``: one producer
+        # walk instead of two (this gate runs once per load issue attempt).
+        producer = dyn.src1_producer
+        if producer is not None:
+            if not producer.out_tainted:
+                # Address provably derives from no memory value:
+                # transmitting it reveals only register-computed data,
+                # public in both models.
+                return True
+            deps = producer.out_deps
+            addr_deps = dyn.control_deps | deps if deps else dyn.control_deps
+        else:
+            if not dyn.src1_arf_tainted:
+                return True
+            addr_deps = dyn.control_deps
+        return self._deps_safe(addr_deps, dyn, core)
 
     def may_issue_branch(self, dyn: "DynInst", core: "OooCore") -> bool:
-        if not dyn.operand_tainted():
+        # Fused form of ``operand_tainted()`` + ``input_deps()``.
+        p1 = dyn.src1_producer
+        p2 = dyn.src2_producer
+        t1 = p1.out_tainted if p1 is not None else dyn.src1_arf_tainted
+        t2 = p2.out_tainted if p2 is not None else dyn.src2_arf_tainted
+        if not (t1 or t2):
             return True
-        return self._deps_safe(dyn.input_deps(), dyn, core)
+        deps = dyn.control_deps
+        if p1 is not None and p1.out_deps:
+            deps = deps | p1.out_deps
+        if p2 is not None and p2.out_deps:
+            deps = deps | p2.out_deps
+        return self._deps_safe(deps, dyn, core)

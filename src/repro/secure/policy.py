@@ -59,6 +59,13 @@ class SpeculationPolicy(abc.ABC):
     name = "base"
     protects_speculative_secrets = False
     protects_nonspeculative_secrets = False
+    #: Does this policy consult STT-style expiring taint roots
+    #: (``addr_roots``/``operand_roots``)?  When False the core elides
+    #: root-set construction entirely (lineage sets stay empty along the
+    #: whole dependence chain), which is invisible to the policy and to
+    #: CoreStats.  Conservative default: a new policy must opt out
+    #: explicitly after checking it never reads roots.
+    uses_taint_roots = True
 
     def __init__(self) -> None:
         self.stats = PolicyStats()

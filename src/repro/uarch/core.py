@@ -33,9 +33,26 @@ from ..mem.hierarchy import MemoryHierarchy
 from ..secure.baselines import NoProtection
 from ..secure.policy import SpeculationPolicy
 from .config import CoreConfig
-from .decoded import K_BRANCH, K_JAL, K_JALR, K_SEQ, decoded_image
-from .specialize import specialize_enabled, specialized_image
-from .dyninst import Checkpoint, DynInst, Stage
+from .decoded import (
+    C_BRANCH,
+    C_CFLUSH,
+    C_HALT,
+    C_LOAD,
+    C_STORE,
+    K_BRANCH,
+    K_JAL,
+    K_JALR,
+    K_SEQ,
+    S_MEM,
+    S_SERIALIZE,
+    decoded_image,
+)
+from .specialize import (
+    specialize_enabled,
+    specialized_image,
+    superblock_enabled,
+)
+from .dyninst import EMPTY, Checkpoint, DynInst, Stage
 from .horizon import WATCHDOG_CYCLES as _WATCHDOG_CYCLES
 from .horizon import WarpStats, warp_to_horizon
 from .stats import CoreStats
@@ -93,6 +110,7 @@ class OooCore:
         cycle_skip: bool | None = None,
         recycle_dyninsts: bool | None = None,
         specialize: bool | None = None,
+        superblock: bool | None = None,
     ):
         self.program = program
         self.config = config or CoreConfig()
@@ -147,10 +165,34 @@ class OooCore:
         else:
             self._execute = self._execute_alu
             self._defers_wakeup = self.policy.defers_wakeup
+        # STT-style expiring taint roots are consulted only by policies
+        # declaring uses_taint_roots; for the rest, root sets are provably
+        # unread and lineage finalization skips building them.  Derived
+        # from the policy alone, so both execution modes agree.
+        self._track_roots = bool(self.policy.uses_taint_roots)
+        # Superblock front-end fast path: one generated fetch + dispatch
+        # function per straight-line run (attached alongside the per-PC ops
+        # above), used only when both knobs are on.  Bit-invisible by
+        # contract (REPRO_NO_SUPERBLOCK=1 forces the per-PC loops).
+        if superblock is None:
+            superblock = superblock_enabled()
+        self._superblock = bool(
+            specialize and superblock and self._decoded.superblocks
+        )
+        # Superblock diagnostics (deliberately off CoreStats — the fast and
+        # slow front ends are bit-identical; what differs lives here).
+        self._sb_fetched = 0
+        self._sb_committed = 0
         # Grid-point label threaded into SimulationTimeout by lockstep
         # batches so a multi-point worker failure names the guilty point.
         self.point_label: str | None = None
         self._dyn_pool: list[DynInst] = []
+        # Records recycled straight out of the squashed fetch queue: they
+        # were never renamed/issued, so allocation from this pool takes the
+        # cheaper ``reset_light`` path (~1/3 of the field stores).  On
+        # squash-heavy workloads most fetched instructions die here, which
+        # makes this the hottest allocation source.
+        self._dyn_pool_light: list[DynInst] = []
         # Committed records awaiting reclamation: (barrier_seq, dyn) where
         # barrier_seq is the fetch frontier at commit time.  Once every
         # instruction fetched before the commit has drained, nothing live
@@ -179,6 +221,12 @@ class OooCore:
         # entries are immutable once created (only the list membership
         # changes), so the cache is invalidated exactly where the list is.
         self._live_deps: frozenset[int] | None = EMPTY_DEPS
+        # Reconvergence PCs of the live regions: the fetch loop probes this
+        # set once per PC instead of scanning the region list (almost no PC
+        # closes a region).  Exact at close sites (closing removes every
+        # entry with that PC); rebuilt wholesale where regions are filtered
+        # by seq (loop iterations can carry duplicate reconvergence PCs).
+        self._reconv_live: set[int] = set()
         self._fetch_resume_cycle = 0          # L1I miss stall
         self._last_fetch_line: int | None = None
 
@@ -311,10 +359,19 @@ class OooCore:
         if rob and rob[0].stage is Stage.COMPLETED:
             self._commit(cycle)
         if not self._done:
-            self._issue(cycle)
+            if self._retry_event or self.ready or self.serialize_wait:
+                self._issue(cycle)
             if self.fetch_queue:
                 self._dispatch(cycle)
-            self._fetch(cycle)
+            if (
+                self.halt_fetched
+                or self.fetch_wild
+                or self.fetch_stalled_on is not None
+                or cycle < self._fetch_resume_cycle
+            ):
+                self.stats.fetch_stall_cycles += 1
+            else:
+                self._fetch(cycle)
         self._cycle = cycle + 1
 
     # ----------------------------------------------------- policy interface
@@ -369,8 +426,13 @@ class OooCore:
         line_bits = self._line_bits
         budget = self.config.fetch_width
         use_compiler_info = self._use_compiler_info
+        use_sb = self._superblock
         stats = self.stats
         dyn_pool = self._dyn_pool
+        dyn_pool_light = self._dyn_pool_light
+        reconv_live = self._reconv_live
+        predictor = self.predictor
+        hfetch = self.hierarchy.fetch
         # pc and the last-fetched line live in locals for the whole packet;
         # the finally block is the single write-back point for every exit.
         pc = self.fetch_pc
@@ -381,9 +443,43 @@ class OooCore:
                 if dec is None:
                     self.fetch_wild = True  # wrong path off the text segment
                     return
+
+                if use_sb:
+                    sb = dec.sb
+                    if sb is not None:
+                        # Superblock fast path: the entry PC may close a
+                        # tracker region (it is a boundary); interior PCs
+                        # never can, so the dep set is computed once and
+                        # the generated op fetches the rest of the run.
+                        regions = self.active_regions
+                        deps = EMPTY_DEPS
+                        if regions:
+                            if pc in reconv_live:
+                                self.active_regions = regions = [
+                                    entry for entry in regions
+                                    if entry[1] != pc
+                                ]
+                                reconv_live.discard(pc)
+                                self._live_deps = None
+                            if regions:
+                                deps = self._live_deps
+                                if deps is None:
+                                    deps = self._live_deps = frozenset(
+                                        r[0] for r in regions if r[2]
+                                    )
+                        pos, budget, last_line, stall = sb.fop(
+                            self, fetch_queue, cycle, budget,
+                            fq_cap - len(fetch_queue), dec.sb_pos,
+                            deps, last_line, line_bits,
+                        )
+                        if stall:
+                            pc = sb.pcs[pos]  # resume at the missing PC
+                            return
+                        pc = sb.pcs[pos] if pos < sb.n else sb.next_pc
+                        continue
                 line = pc >> line_bits
                 if line != last_line:
-                    ready = self.hierarchy.fetch(pc, cycle)
+                    ready = hfetch(pc, cycle)
                     last_line = line
                     if ready > cycle:
                         # L1I miss: the packet ends; resume when the line
@@ -392,7 +488,10 @@ class OooCore:
                         return
                 seq = self._next_seq
                 self._next_seq = seq + 1
-                if dyn_pool:
+                if dyn_pool_light:
+                    dyn = dyn_pool_light.pop()
+                    dyn.reset_light(seq, dec, cycle)
+                elif dyn_pool:
                     dyn = dyn_pool.pop()
                     dyn.reset(seq, dec, cycle)
                 else:
@@ -406,13 +505,12 @@ class OooCore:
                 # remaining ones.
                 regions = self.active_regions
                 if regions:
-                    for r in regions:
-                        if r[1] == pc:
-                            self.active_regions = regions = [
-                                entry for entry in regions if entry[1] != pc
-                            ]
-                            self._live_deps = None
-                            break
+                    if pc in reconv_live:
+                        self.active_regions = regions = [
+                            entry for entry in regions if entry[1] != pc
+                        ]
+                        reconv_live.discard(pc)
+                        self._live_deps = None
                     if regions:
                         deps = self._live_deps
                         if deps is None:
@@ -430,20 +528,17 @@ class OooCore:
 
                 inst = dec.inst
                 if kind == K_BRANCH:
-                    taken, ctx = self.predictor.predict(pc)
+                    taken, ctx = predictor.predict(pc)
                     dyn.predicted_taken = taken
                     target = inst.branch_target if taken else dec.fallthrough
                     dyn.predicted_target = target
                     dyn.predictor_context = ctx
                     dyn.checkpoint = self._front_checkpoint(dyn)
-                    self.predictor.on_speculative_branch(pc, taken)
-                    self.active_regions.append(
-                        [
-                            dyn.seq,
-                            dec.reconv_pc if use_compiler_info else None,
-                            True,
-                        ]
-                    )
+                    predictor.on_speculative_branch(pc, taken)
+                    reconv = dec.reconv_pc if use_compiler_info else None
+                    if reconv is not None:
+                        reconv_live.add(reconv)
+                    self.active_regions.append([dyn.seq, reconv, True])
                     self._live_deps = None
                     pc = target
                     if taken:
@@ -464,6 +559,11 @@ class OooCore:
                     if inst.rd != 0:
                         self.ras.push(dec.fallthrough)  # indirect call
                     if predicted is None:
+                        # Explicit null: recycled records keep stale
+                        # prediction fields (see DynInst.reset), and the
+                        # resolve path distinguishes a stalled jalr by
+                        # ``predicted_target is None``.
+                        dyn.predicted_target = None
                         self.fetch_stalled_on = dyn
                         return
                     dyn.predicted_target = predicted
@@ -489,10 +589,12 @@ class OooCore:
         (committed or squashed): after that, no live producer link,
         store-forward link, or checkpointed rename map can reference it
         (squash-restore nulls out committed producers, see
-        :meth:`_squash_after`).  Squashed records are never recycled — they
-        linger in the lazily-deleted ready/completion heaps, whose
-        staleness checks rely on their state staying frozen.  Sweeping only
-        when the pool runs dry is safe: the barrier condition is monotonic.
+        :meth:`_squash_after`).  Squashed records are recycled eagerly by
+        the squash path itself, which scrubs the scheduler heaps and
+        unlinks consumer-list membership first; fetch-queue casualties land
+        in the light pool (cheaper ``reset_light``), ROB casualties here.
+        Sweeping the retire FIFO only when the pool runs dry is safe: the
+        barrier condition is monotonic.
         """
         if self._recycle:
             fifo = self._retire_fifo
@@ -520,15 +622,23 @@ class OooCore:
 
     def _front_checkpoint(self, dyn: DynInst) -> Checkpoint:
         """Front-end snapshot; the rename map is added at dispatch."""
-        # Region entries are never mutated in place, so a shallow copy of
-        # the outer list is enough for checkpoint isolation.
-        return Checkpoint(
-            rename_map=[],
-            ras=self.ras.checkpoint(),
-            history=self.predictor.history_checkpoint(),
-            regions=list(self.active_regions),
-            fetch_pc_after=dyn.inst.fallthrough,
-        )
+        # Copy-on-write region snapshot: checkpoints vastly outnumber
+        # restores (every fetched branch/jalr vs only mispredicts), so the
+        # snapshot stores a reference to the live list plus its current
+        # length and the rare restore path materializes the copy.  Sound
+        # because entries are never mutated in place and every removal
+        # rebinds a freshly built list — the captured prefix is immutable.
+        # Slot stores through __new__ skip the dataclass keyword plumbing
+        # (one checkpoint per fetched branch/jalr makes this hot).
+        ckpt = Checkpoint.__new__(Checkpoint)
+        ckpt.rename_map = []
+        ckpt.ras = self.ras.checkpoint()
+        ckpt.history = self.predictor.history_checkpoint()
+        regions = self.active_regions
+        ckpt.regions = regions
+        ckpt.regions_len = len(regions)
+        ckpt.fetch_pc_after = dyn.inst.fallthrough
+        return ckpt
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self, cycle: int) -> None:
@@ -544,12 +654,45 @@ class OooCore:
         lq_size = cfg.lq_size
         sq_size = cfg.sq_size
         width = cfg.dispatch_width
+        use_sb = self._superblock
+        ripe = cycle - frontend_latency
         # Occupancy counters live in locals for the loop; written back below.
         iq_count = self.iq_count
         lq_count = self.lq_count
         sq_count = self.sq_count
+        rename_map = self.rename_map
+        arf = self.arf
+        arf_taint = self.arf_taint
         while width > 0 and fetch_queue:
             dyn = fetch_queue[0]
+
+            if use_sb:
+                sb = dyn.dec.sb
+                if sb is not None:
+                    # Superblock fast path: the generated op dispatches and
+                    # renames run instructions until width/ripeness/capacity
+                    # stops it, returning the slow loop's first-blocked
+                    # stall code so accounting is identical.
+                    d, code, lq_d, sq_d = sb.dop(
+                        self, fetch_queue, rob, cycle, ripe, width,
+                        rob_size - len(rob), iq_size - iq_count,
+                        lq_size - lq_count, sq_size - sq_count,
+                        dyn.dec.sb_pos,
+                    )
+                    width -= d
+                    iq_count += d
+                    lq_count += lq_d
+                    sq_count += sq_d
+                    if code == 0:
+                        continue  # ran dry: terminator (or empty queue) next
+                    if code == 2:
+                        stats.rob_full_stalls += 1
+                    elif code == 3:
+                        stats.iq_full_stalls += 1
+                    elif code == 4:
+                        stats.lsq_full_stalls += 1
+                    break  # code 1 (head not ripe) breaks without a stat
+
             if dyn.fetch_cycle + frontend_latency > cycle:
                 break
             if len(rob) >= rob_size:
@@ -572,11 +715,41 @@ class OooCore:
             width -= 1
             dyn.stage = Stage.DISPATCHED
             dyn.dispatch_cycle = cycle
-            self._rename(dyn)
+            # Rename, inlined (same body the generated superblock dispatch
+            # ops emit): producer links from the map, else ARF value +
+            # taint capture.
+            dec = dyn.dec
+            rs = dec.rs1n
+            if rs >= 0:
+                producer = rename_map[rs]
+                if producer is not None:
+                    dyn.src1_producer = producer
+                    if not producer.propagated:
+                        dyn.waiting_on += 1
+                        dyn.enlisted = 1
+                        producer.consumers.append(dyn)
+                else:
+                    dyn.src1_value = arf[rs]
+                    dyn.src1_arf_tainted = arf_taint[rs]
+            rs = dec.rs2n
+            if rs >= 0:
+                producer = rename_map[rs]
+                if producer is not None:
+                    dyn.src2_producer = producer
+                    if not producer.propagated:
+                        dyn.waiting_on += 1
+                        dyn.enlisted |= 2
+                        producer.consumers.append(dyn)
+                else:
+                    dyn.src2_value = arf[rs]
+                    dyn.src2_arf_tainted = arf_taint[rs]
+            dest = dec.dest
+            if dest is not None:
+                rename_map[dest] = dyn
             rob.append(dyn)
 
             if dyn.checkpoint is not None:
-                dyn.checkpoint.rename_map = list(self.rename_map)
+                dyn.checkpoint.rename_map = list(rename_map)
             if dyn.inst.is_branch or (
                 opcode is Opcode.JALR and dyn.predicted_target is not None
             ):
@@ -603,34 +776,6 @@ class OooCore:
         self.iq_count = iq_count
         self.lq_count = lq_count
         self.sq_count = sq_count
-
-    def _rename(self, dyn: DynInst) -> None:
-        inst = dyn.inst
-        opcode = inst.opcode
-        rename_map = self.rename_map
-        if opcode.reads_rs1 and inst.rs1 != 0:
-            producer = rename_map[inst.rs1]
-            if producer is not None:
-                dyn.src1_producer = producer
-                if not producer.propagated:
-                    dyn.waiting_on += 1
-                    producer.consumers.append(dyn)
-            else:
-                dyn.src1_value = self.arf[inst.rs1]
-                dyn.src1_arf_tainted = self.arf_taint[inst.rs1]
-        if opcode.reads_rs2 and inst.rs2 != 0:
-            producer = rename_map[inst.rs2]
-            if producer is not None:
-                dyn.src2_producer = producer
-                if not producer.propagated:
-                    dyn.waiting_on += 1
-                    producer.consumers.append(dyn)
-            else:
-                dyn.src2_value = self.arf[inst.rs2]
-                dyn.src2_arf_tainted = self.arf_taint[inst.rs2]
-        dest = inst._dest
-        if dest is not None:
-            rename_map[dest] = dyn
 
     # ----------------------------------------------------------------- issue
     def _issue(self, cycle: int) -> None:
@@ -689,11 +834,14 @@ class OooCore:
                     still_gated.append(dyn)
                     self._retry_event = True  # resource block: retry next cycle
                     continue
-                if self.policy.checked_may_issue_branch(dyn, self):
+                pstats = self.policy.stats
+                pstats.gate_checks += 1
+                if self.policy.may_issue_branch(dyn, self):
                     self._execute(dyn, cycle, self.config.branch_latency)
                     budget -= 1
                     alu_ports -= 1
                 else:
+                    pstats.gate_denials += 1
                     self._note_branch_gated(dyn, cycle)
                     still_gated.append(dyn)
             self.pending_ctrl = still_gated
@@ -719,48 +867,55 @@ class OooCore:
             self.serialize_wait = remaining
 
         overflow: list[tuple[int, DynInst]] = []
-        while budget > 0 and self.ready:
-            _, dyn = heapq.heappop(self.ready)
+        ready = self.ready
+        heappop = heapq.heappop
+        execute = self._execute
+        while budget > 0 and ready:
+            dyn = heappop(ready)[1]
             if dyn.squashed or dyn.stage is not Stage.DISPATCHED:
                 continue
-            opcode = dyn.opcode
+            dec = dyn.dec  # scheduling class / FU port pre-resolved at decode
+            sched = dec.sched
 
-            if opcode in (Opcode.RDCYCLE, Opcode.FENCE):
-                if self.rob and self.rob[0] is dyn and alu_ports > 0:
-                    self._schedule(dyn, cycle, cfg.alu_latency)
-                    dyn.result = cycle
-                    budget -= 1
-                    alu_ports -= 1
-                else:
-                    self.serialize_wait.append(dyn)
-                continue
-
-            if opcode.is_mem:
-                if mem_ports <= 0:
-                    overflow.append((dyn.seq, dyn))
+            if sched:
+                if sched == S_SERIALIZE:  # rdcycle / fence
+                    if self.rob and self.rob[0] is dyn and alu_ports > 0:
+                        self._schedule(dyn, cycle, cfg.alu_latency)
+                        dyn.result = cycle
+                        budget -= 1
+                        alu_ports -= 1
+                    else:
+                        self.serialize_wait.append(dyn)
                     continue
-                issued = self._try_issue_mem(dyn, cycle)
-                if issued:
-                    budget -= 1
-                    mem_ports -= 1
-                else:
-                    self.pending_loads.append(dyn)
-                continue
 
-            if opcode.is_branch or opcode is Opcode.JALR:
-                if not self.policy.checked_may_issue_branch(dyn, self):
+                if sched == S_MEM:
+                    if mem_ports <= 0:
+                        overflow.append((dyn.seq, dyn))
+                        continue
+                    issued = self._try_issue_mem(dyn, cycle)
+                    if issued:
+                        budget -= 1
+                        mem_ports -= 1
+                    else:
+                        self.pending_loads.append(dyn)
+                    continue
+
+                # S_CTRL: policy-gated branch/jalr, then the ALU port below.
+                pstats = self.policy.stats
+                pstats.gate_checks += 1
+                if not self.policy.may_issue_branch(dyn, self):
+                    pstats.gate_denials += 1
                     self._note_branch_gated(dyn, cycle)
                     self.pending_ctrl.append(dyn)
                     continue
 
-            dec = dyn.dec  # FU port/latency pre-resolved at decode
-            port = dec.port
-            if port == "alu":
+            port_i = dec.port_i
+            if port_i == 0:
                 if alu_ports <= 0:
                     overflow.append((dyn.seq, dyn))
                     continue
                 alu_ports -= 1
-            elif port == "mul":
+            elif port_i == 1:
                 if mul_ports <= 0:
                     overflow.append((dyn.seq, dyn))
                     continue
@@ -771,10 +926,10 @@ class OooCore:
                     continue
                 div_ports -= 1
             budget -= 1
-            self._execute(dyn, cycle, dec.latency)
+            execute(dyn, cycle, dec.latency)
 
         for entry in overflow:
-            heapq.heappush(self.ready, entry)
+            heapq.heappush(ready, entry)
 
     def _note_branch_gated(self, dyn: DynInst, cycle: int) -> None:
         if dyn.first_gated_cycle < 0:
@@ -818,7 +973,12 @@ class OooCore:
         p = dyn.src2_producer
         b = p.result if p is not None else dyn.src2_value
         dyn.dec.xop(dyn, a, b)
-        self._complete_at(dyn, cycle + latency)
+        # _complete_at, inlined (hot: once per executed ALU instruction).
+        if dyn.stage is Stage.DISPATCHED:
+            self.iq_count -= 1
+        dyn.stage = Stage.ISSUED
+        dyn.issue_cycle = self._cycle
+        heapq.heappush(self.completions, (cycle + latency, dyn.seq, dyn))
 
     # ------------------------------------------------------------ memory ops
     def _try_issue_mem(self, dyn: DynInst, cycle: int) -> bool:
@@ -834,8 +994,16 @@ class OooCore:
                 )
 
         if opcode.is_store:
-            dyn.store_data = dyn.value_of_src2()
-            self._schedule(dyn, cycle, self.config.agu_latency)
+            p = dyn.src2_producer
+            dyn.store_data = p.result if p is not None else dyn.src2_value
+            if dyn.stage is Stage.DISPATCHED:
+                self.iq_count -= 1
+            dyn.stage = Stage.ISSUED
+            dyn.issue_cycle = self._cycle
+            heapq.heappush(
+                self.completions,
+                (cycle + self.config.agu_latency, dyn.seq, dyn),
+            )
             return True
 
         # Memory ordering: an older in-flight fence blocks younger memory ops.
@@ -843,15 +1011,21 @@ class OooCore:
             self.stats.memdep_blocked_cycles += 1
             return False
 
-        # Loads and cflush are transmitters: consult the policy.
-        if not self.policy.checked_may_issue_load(dyn, self):
+        # Loads and cflush are transmitters: consult the policy (the
+        # checked_may_issue_load wrapper's bookkeeping is inlined — this
+        # runs once per load issue attempt).
+        policy = self.policy
+        pstats = policy.stats
+        pstats.gate_checks += 1
+        if not policy.may_issue_load(dyn, self):
+            pstats.gate_denials += 1
             if dyn.first_gated_cycle < 0:
                 dyn.first_gated_cycle = cycle
                 self.stats.loads_gated += 1
-                self.policy.stats.loads_gated += 1
+                pstats.loads_gated += 1
             dyn.gated_cycles += 1
             self.stats.load_gate_cycles += 1
-            self.policy.stats.gate_cycles += 1
+            pstats.gate_cycles += 1
             return False
 
         if opcode is Opcode.CFLUSH:
@@ -904,7 +1078,14 @@ class OooCore:
                 dyn.result = dyn.dec.ext(raw)
             else:
                 dyn.result = self._extend(raw, size, opcode)
-            self._schedule(dyn, cycle, self.config.store_forward_latency)
+            if dyn.stage is Stage.DISPATCHED:
+                self.iq_count -= 1
+            dyn.stage = Stage.ISSUED
+            dyn.issue_cycle = self._cycle
+            heapq.heappush(
+                self.completions,
+                (cycle + self.config.store_forward_latency, dyn.seq, dyn),
+            )
             return True
 
         self._retry_event = True  # a fill may unblock Delay-on-Miss loads
@@ -916,7 +1097,11 @@ class OooCore:
             dyn.result = dyn.dec.ext(raw)
         else:
             dyn.result = self._extend(raw, size, opcode)
-        self._complete_at(dyn, ready)
+        if dyn.stage is Stage.DISPATCHED:
+            self.iq_count -= 1
+        dyn.stage = Stage.ISSUED
+        dyn.issue_cycle = self._cycle
+        heapq.heappush(self.completions, (ready, dyn.seq, dyn))
         return True
 
     @staticmethod
@@ -945,29 +1130,72 @@ class OooCore:
         heappop = heapq.heappop
         unresolved = self.unresolved_ctrl
         inflight_loads = self.inflight_loads
+        track_roots = self._track_roots
         # None when the policy provably never defers (base implementation
         # is a side-effect-free constant False — see __init__).
         defers_wakeup = self._defers_wakeup
+        # Same-cycle completions are processed as one batch: wakeups are
+        # collected and inserted into the ready heap once at the end, and
+        # the retry event is raised once.  (seq, dyn) keys are unique, so
+        # pop order — hence issue order — is independent of how the heap
+        # was built and the batch is bit-identical to per-item pushes.
+        newly_ready: list[tuple[int, DynInst]] = []
+        wake = newly_ready.append
+        progress = False
         while completions and completions[0][0] <= cycle:
             dyn = heappop(completions)[2]
             if dyn.squashed:
                 continue
-            self._retry_event = True
+            progress = True
             dyn.stage = Stage.COMPLETED
             dyn.complete_cycle = cycle
-            dyn.finalize_lineage(unresolved, inflight_loads)
-            inst = dyn.inst
+            dec = dyn.dec
+            # Lineage fast path: an instruction with ARF-only operands, no
+            # control region, and no load semantics finalizes to the empty
+            # sets (taint is just the captured ARF bits) — the common case
+            # on straight-line code, worth skipping the full method for.
+            if (
+                dyn.src1_producer is None
+                and dyn.src2_producer is None
+                and not dyn.control_deps
+                and not dec.true_load
+            ):
+                dyn.out_deps = EMPTY
+                dyn.out_roots = EMPTY
+                dyn.out_tainted = (
+                    dyn.src1_arf_tainted or dyn.src2_arf_tainted
+                )
+            else:
+                dyn.finalize_lineage(unresolved, inflight_loads, track_roots)
             if (
                 defers_wakeup is not None
-                and inst.is_load
-                and dyn.opcode is not Opcode.CFLUSH
+                and dec.true_load
                 and defers_wakeup(dyn, self)
             ):
                 self.deferred_values.append(dyn)  # NDA: value withheld
             else:
-                self._propagate(dyn)
-            if inst.is_branch or dyn.opcode is Opcode.JALR:
+                dyn.propagated = True
+                for consumer in dyn.consumers:
+                    if consumer.squashed:
+                        continue
+                    w = consumer.waiting_on - 1
+                    consumer.waiting_on = w
+                    if w == 0 and consumer.stage is Stage.DISPATCHED:
+                        wake((consumer.seq, consumer))
+            if dec.is_ctrl:
                 self._resolve_control(dyn, cycle)
+        if progress:
+            self._retry_event = True
+        if newly_ready:
+            ready = self.ready
+            if ready:
+                heappush = heapq.heappush
+                for entry in newly_ready:
+                    heappush(ready, entry)
+            else:
+                # A sorted list satisfies the heap invariant wholesale.
+                newly_ready.sort()
+                self.ready = newly_ready
 
     def _propagate(self, dyn: DynInst) -> None:
         """Make a completed value visible to dependents (wakeup)."""
@@ -987,9 +1215,9 @@ class OooCore:
         # tracker region so younger fetches stop inheriting it (and the
         # region list stays bounded by the unresolved window).
         if self.active_regions:
-            self.active_regions = [
-                r for r in self.active_regions if r[0] != dyn.seq
-            ]
+            regions = [r for r in self.active_regions if r[0] != dyn.seq]
+            self.active_regions = regions
+            self._reconv_live = {r[1] for r in regions if r[1] is not None}
             self._live_deps = None
         inst = dyn.inst
         if inst.is_branch:
@@ -1028,7 +1256,9 @@ class OooCore:
         # full window before the squash) instead of rescanning the survivors.
         rob = self.rob
         observations = self.observations
-        squashed_n = 0
+        squashed_rob: list[DynInst] = []
+        stale_ready = False
+        stale_comp = False
         while rob and rob[-1].seq > boundary:
             entry = rob.pop()
             entry.squashed = True
@@ -1036,10 +1266,14 @@ class OooCore:
                 observations.squashed.add(entry.seq)
             stage = entry.stage
             entry.stage = Stage.SQUASHED
-            squashed_n += 1
+            squashed_rob.append(entry)
             opcode = entry.opcode
             if stage is Stage.DISPATCHED and opcode is not Opcode.HALT:
                 self.iq_count -= 1
+                if entry.waiting_on == 0:
+                    stale_ready = True  # may sit in the ready heap
+            elif stage is Stage.ISSUED:
+                stale_comp = True  # sits in the completions heap
             if opcode.is_load:
                 self.lq_count -= 1
                 self.inflight_loads.pop(entry.seq, None)
@@ -1047,20 +1281,67 @@ class OooCore:
                 self.sq_count -= 1
             self.unresolved_ctrl.discard(entry.seq)
             self.inflight_fences.discard(entry.seq)
-        self.stats.squashed_insts += squashed_n
+        self.stats.squashed_insts += len(squashed_rob)
+
+        # Scrub squashed entries out of the scheduler heaps instead of
+        # leaving them for lazy deletion.  Pop order depends only on the
+        # (unique) keys, never on the internal array layout, so filtering
+        # and re-heapifying is bit-identical to lazily skipping them — and
+        # it is what makes the squashed records below safe to recycle.
+        # (Only entries that were DISPATCHED-and-ready or ISSUED can be in
+        # a heap, so the scans run only when the pop loop saw one.)
+        ready = self.ready
+        if stale_ready and ready:
+            alive = [e for e in ready if not e[1].squashed]
+            if len(alive) != len(ready):
+                heapq.heapify(alive)
+                self.ready = alive
+        completions = self.completions
+        if stale_comp and completions:
+            alive_c = [e for e in completions if not e[2].squashed]
+            if len(alive_c) != len(completions):
+                heapq.heapify(alive_c)
+                self.completions = alive_c
 
         store_queue = self.store_queue
         while store_queue and store_queue[-1].seq > boundary:
             store_queue.pop()
-        self.pending_loads = [p for p in self.pending_loads if p.seq <= boundary]
-        self.pending_ctrl = [p for p in self.pending_ctrl if p.seq <= boundary]
-        self.deferred_values = [d for d in self.deferred_values if d.seq <= boundary]
-        self.serialize_wait = [s for s in self.serialize_wait if s.seq <= boundary]
+        if self.pending_loads:
+            self.pending_loads = [
+                p for p in self.pending_loads if p.seq <= boundary
+            ]
+        if self.pending_ctrl:
+            self.pending_ctrl = [
+                p for p in self.pending_ctrl if p.seq <= boundary
+            ]
+        if self.deferred_values:
+            self.deferred_values = [
+                d for d in self.deferred_values if d.seq <= boundary
+            ]
+        if self.serialize_wait:
+            self.serialize_wait = [
+                s for s in self.serialize_wait if s.seq <= boundary
+            ]
 
-        for entry in self.fetch_queue:
-            entry.squashed = True
-            entry.stage = Stage.SQUASHED
-        self.fetch_queue.clear()
+        # Fetch-queue records go straight back to the free list: a FETCHED
+        # record was never renamed (no producer links or consumers), never
+        # entered the ready/completion heaps (lazy deletion never sees it),
+        # and ``fetch_stalled_on`` — the only external reference a fetched
+        # record can acquire — is cleared below.  Recycling here is what
+        # keeps the pool warm on squash-heavy workloads, where most fetched
+        # instructions die in the queue and would otherwise force a fresh
+        # allocation per wrong-path instruction.
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            pool = self._dyn_pool_light
+            room = _DYN_POOL_MAX - len(pool) if self._recycle else 0
+            for entry in fetch_queue:
+                entry.squashed = True
+                entry.stage = Stage.SQUASHED
+                if room > 0:
+                    pool.append(entry)
+                    room -= 1
+            fetch_queue.clear()
 
         checkpoint = dyn.checkpoint
         if checkpoint is None:
@@ -1090,10 +1371,17 @@ class OooCore:
             self.predictor.on_speculative_branch(dyn.pc, bool(dyn.actual_taken))
         # Restore only regions whose branches are still unresolved: branches
         # that resolved after the checkpoint was taken were already retired
-        # from the tracker and must not be resurrected.
-        self.active_regions = [
-            r for r in checkpoint.regions if r[0] in self.unresolved_ctrl
+        # from the tracker and must not be resurrected.  (The snapshot is
+        # copy-on-write: the first ``regions_len`` entries of the captured
+        # list reference are the state at capture time.)
+        unresolved = self.unresolved_ctrl
+        regions = [
+            r
+            for r in checkpoint.regions[: checkpoint.regions_len]
+            if r[0] in unresolved
         ]
+        self.active_regions = regions
+        self._reconv_live = {r[1] for r in regions if r[1] is not None}
         self._live_deps = None
 
         self.fetch_pc = dyn.actual_target
@@ -1103,15 +1391,58 @@ class OooCore:
         self._last_fetch_line = None
         self._retry_event = True
 
+        # Recycle the squashed ROB records.  By this point every structure
+        # that could reference one has been purged: the scheduler heaps were
+        # scrubbed above, the seq-filtered lists dropped them, and the
+        # restored rename map nulled them.  The one remaining class of
+        # references is producer consumer-lists — a consumer is always
+        # younger than its producer, so a *live* producer may still list a
+        # squashed consumer; ``enlisted`` records exactly which lists the
+        # record joined at rename.  Tail-pop order is youngest-first, so
+        # consumers are unlinked while their producers' lists are intact; a
+        # producer squashed in the same batch is skipped (its list dies with
+        # it).
+        if self._recycle and squashed_rob:
+            pool = self._dyn_pool
+            room = _DYN_POOL_MAX - len(pool)
+            for entry in squashed_rob:
+                e = entry.enlisted
+                if e:
+                    if e & 1:
+                        p = entry.src1_producer
+                        if not p.squashed:
+                            p.consumers.remove(entry)
+                    if e & 2:
+                        p = entry.src2_producer
+                        if not p.squashed:
+                            p.consumers.remove(entry)
+                    entry.enlisted = 0
+                if room > 0:
+                    pool.append(entry)
+                    room -= 1
+
     # ----------------------------------------------------------------- commit
     def _commit(self, cycle: int) -> None:
         width = self.config.commit_width
         rob = self.rob
         stats = self.stats
+        arf = self.arf
+        arf_taint = self.arf_taint
+        rename_map = self.rename_map
+        observations = self.observations
+        record_trace = self.record_trace
+        record_pipeline = self.record_pipeline
+        recycle = self._recycle
+        retire_fifo = self._retire_fifo
+        # Retirement bookkeeping is batched: the committed counters, the
+        # watchdog timestamp, and the retry event are written once per
+        # commit packet instead of once per instruction.
+        committed_n = 0
+        sb_n = 0
         while width > 0 and rob:
             dyn = rob[0]
             if dyn.stage is not Stage.COMPLETED:
-                return
+                break
             if not dyn.propagated:
                 # NDA-deferred value reaching the head: it is non-speculative
                 # now, so the policy must agree to release it.
@@ -1121,57 +1452,64 @@ class OooCore:
                         d for d in self.deferred_values if d is not dyn
                     ]
                 else:
-                    return
+                    break
             rob.popleft()
             width -= 1
-            self._retry_event = True
             dyn.stage = Stage.COMMITTED
             dyn.commit_cycle = cycle
-            self._last_commit_cycle = cycle
-            stats.committed += 1
-            if self.record_trace:
+            committed_n += 1
+            if dyn.sb_fast:
+                sb_n += 1
+            if record_trace:
                 self.committed_pcs.append(dyn.pc)
-            if self.record_pipeline:
+            if record_pipeline:
                 self.retired.append(dyn)
 
-            opcode = dyn.opcode
-            if opcode is Opcode.HALT:
-                self._done = True
-                return
-
-            if opcode.is_store:
-                size = opcode.access_size
-                self.memory.write_int(dyn.mem_address, dyn.store_data, size)
-                self.hierarchy.store(dyn.mem_address, cycle)
-                if self.observations is not None:
-                    self.observations.record(
-                        "st", dyn.pc, dyn.mem_address, cycle, dyn.seq
-                    )
-                if self.store_queue[0] is dyn:  # stores commit in order
-                    self.store_queue.popleft()
-                else:  # pragma: no cover - defensive
-                    self.store_queue.remove(dyn)
-                self.sq_count -= 1
-                stats.committed_stores += 1
-            elif opcode.is_load:
-                if opcode is Opcode.CFLUSH:
-                    self.hierarchy.flush_address(dyn.mem_address)
-                else:
+            dec = dyn.dec
+            cc = dec.cc
+            if cc:
+                if cc == C_HALT:
+                    self._done = True
+                    break
+                if cc == C_STORE:
+                    address = dyn.mem_address
+                    self.memory.write_int(address, dyn.store_data, dec.asize)
+                    self.hierarchy.store(address, cycle)
+                    if observations is not None:
+                        observations.record("st", dyn.pc, address, cycle,
+                                            dyn.seq)
+                    store_queue = self.store_queue
+                    if store_queue[0] is dyn:  # stores commit in order
+                        store_queue.popleft()
+                    else:  # pragma: no cover - defensive
+                        store_queue.remove(dyn)
+                    self.sq_count -= 1
+                    stats.committed_stores += 1
+                elif cc == C_LOAD:
                     stats.committed_loads += 1
-                self.inflight_loads.pop(dyn.seq, None)
-                self.lq_count -= 1
-            elif opcode.is_branch:
-                stats.committed_branches += 1
-            elif opcode is Opcode.FENCE:
-                self.inflight_fences.discard(dyn.seq)
+                    self.inflight_loads.pop(dyn.seq, None)
+                    self.lq_count -= 1
+                elif cc == C_CFLUSH:
+                    self.hierarchy.flush_address(dyn.mem_address)
+                    self.inflight_loads.pop(dyn.seq, None)
+                    self.lq_count -= 1
+                elif cc == C_BRANCH:
+                    stats.committed_branches += 1
+                else:  # C_FENCE
+                    self.inflight_fences.discard(dyn.seq)
 
-            dest = dyn.inst.dest_reg()
+            dest = dec.dest
             if dest is not None:
-                self.arf[dest] = dyn.result
-                self.arf_taint[dest] = dyn.out_tainted
-                if self.rename_map[dest] is dyn:
-                    self.rename_map[dest] = None
+                arf[dest] = dyn.result
+                arf_taint[dest] = dyn.out_tainted
+                if rename_map[dest] is dyn:
+                    rename_map[dest] = None
 
-            if self._recycle:
+            if recycle:
                 # Reclaimable once everything fetched so far has drained.
-                self._retire_fifo.append((self._next_seq, dyn))
+                retire_fifo.append((self._next_seq, dyn))
+        if committed_n:
+            stats.committed += committed_n
+            self._sb_committed += sb_n
+            self._last_commit_cycle = cycle
+            self._retry_event = True

@@ -43,7 +43,14 @@ class Checkpoint:
     rename_map: list  # list[DynInst | None] per arch reg
     ras: tuple[int, ...]
     history: int
+    # Copy-on-write region snapshot: a *reference* to the live region list
+    # plus its length at capture time.  Entries are never mutated in place
+    # and the live list only ever grows by append while it stays the
+    # current binding (every removal rebinds a freshly built list), so the
+    # first ``regions_len`` entries of ``regions`` are immutable — the
+    # restore path materializes its own copy from that prefix.
     regions: list  # list of [branch_seq, reconv_pc, active]
+    regions_len: int
     fetch_pc_after: int  # where fetch would go if the prediction was wrong
 
 
@@ -110,9 +117,18 @@ class DynInst:
 
     # Scheduler bookkeeping
     waiting_on: int = 0
+    # Which producer consumer-lists this record joined at rename (bit 0 =
+    # src1, bit 1 = src2).  Unlike ``waiting_on`` this never decrements:
+    # list membership outlives wakeup, and the squash path needs to know
+    # exactly which lists to unlink from before recycling the record.
+    enlisted: int = 0
     consumers: list = field(default_factory=list)
     squashed: bool = False
     propagated: bool = False  # value visible to dependents (NDA defers this)
+    # Fetched via a superblock fast path.  Diagnostic only (feeds the
+    # profile hit-rate metric, which must live off CoreStats: the fast and
+    # slow front ends are bit-identical, this flag is what differs).
+    sb_fast: bool = False
 
     def __post_init__(self) -> None:
         self.opcode = self.inst.opcode
@@ -130,16 +146,36 @@ class DynInst:
         """
         dyn = object.__new__(cls)
         dyn.consumers = []
+        # reset() deliberately leaves the prediction slots untouched (see
+        # its docstring); seed them once here so every slot exists — a
+        # dataclass __repr__ of a never-executed record must not raise.
+        dyn.predicted_taken = False
+        dyn.predicted_target = None
+        dyn.predictor_context = None
+        dyn.actual_taken = None
+        dyn.actual_target = None
+        dyn.mispredicted = False
         dyn.reset(seq, dec, fetch_cycle)
         return dyn
 
     def reset(self, seq: int, dec, fetch_cycle: int) -> None:
         """Reinitialize a recycled record (free-list pool fast path).
 
-        Must restore *every* field to its construction default: the pool
-        only recycles committed instructions whose window has fully
-        drained, so no live reference observes the old state — but the new
-        incarnation must not inherit any of it either.
+        Must restore every field a reader could observe before a writer
+        runs.  The pool only recycles committed instructions whose window
+        has fully drained, so no live reference observes the old state —
+        but the new incarnation must not inherit any of it either.
+
+        Deliberate exception: the six prediction fields (``predicted_*``,
+        ``predictor_context``, ``actual_*``, ``mispredicted``) stay stale.
+        Every read of them is dominated by a write in the same incarnation:
+        fetch writes the predicted fields for branches (always) and jalrs
+        (target, with an explicit ``None`` on the BTB/RAS-miss stall path),
+        execute writes the actual fields and ``mispredicted`` for both, and
+        no non-control path reads any of them — the jalr resolve path only
+        consults ``mispredicted`` when ``predicted_target`` is not None,
+        which execute then guarantees was freshly written.  ``checkpoint``
+        is NOT part of the exception: dispatch probes it on every record.
         """
         inst = dec.inst
         self.seq = seq
@@ -149,13 +185,7 @@ class DynInst:
         self.dec = dec
         self.opcode = dec.opcode
         self.pc = dec.pc
-        self.predicted_taken = False
-        self.predicted_target = None
-        self.predictor_context = None
         self.checkpoint = None
-        self.actual_taken = None
-        self.actual_target = None
-        self.mispredicted = False
         self.src1_producer = None
         self.src2_producer = None
         self.src1_value = 0
@@ -177,9 +207,36 @@ class DynInst:
         self.first_gated_cycle = -1
         self.gated_cycles = 0
         self.waiting_on = 0
+        self.enlisted = 0
         self.consumers.clear()
         self.squashed = False
         self.propagated = False
+        self.sb_fast = False
+
+    def reset_light(self, seq: int, dec, fetch_cycle: int) -> None:
+        """Reinitialize a record recycled straight from the fetch queue.
+
+        A squashed FETCHED record was never renamed, issued, or executed:
+        the only fields a fetch stage can touch are the identity fields,
+        ``control_deps``/``sb_fast``, ``checkpoint``, and — for control
+        instructions — the prediction fields (left stale under the same
+        write-before-read contract :meth:`reset` documents).  Everything
+        else still holds its construction default, so restoring just these
+        is equivalent to :meth:`reset` (the fetch-queue squash path is the
+        single producer of records eligible for this, see
+        ``OooCore._squash_after``).
+        """
+        self.seq = seq
+        self.inst = dec.inst
+        self.fetch_cycle = fetch_cycle
+        self.stage = Stage.FETCHED
+        self.dec = dec
+        self.opcode = dec.opcode
+        self.pc = dec.pc
+        self.checkpoint = None
+        self.control_deps = EMPTY
+        self.squashed = False
+        self.sb_fast = False
 
     # ------------------------------------------------------------- operands
     def value_of_src1(self) -> int:
@@ -242,6 +299,7 @@ class DynInst:
         self,
         unresolved: "set[int] | frozenset[int] | None" = None,
         inflight_loads: "dict | None" = None,
+        track_roots: bool = True,
     ) -> None:
         """Compute the output lineage at completion time.
 
@@ -255,6 +313,12 @@ class DynInst:
         become unresolved again (seqs are unique), so pruning cannot change
         any future gate decision — but it keeps lineage sets bounded by the
         in-flight window instead of growing along dependence chains.
+
+        ``track_roots=False`` (policies with ``uses_taint_roots`` unset)
+        skips seeding ``out_roots`` at loads; with every producer's root
+        set empty, root sets then stay empty along the whole chain, so
+        per-completion set construction disappears for policies that never
+        read them.
         """
         op = self.opcode
         p1 = self.src1_producer
@@ -275,11 +339,13 @@ class DynInst:
 
         if op.is_load and op is not Opcode.CFLUSH:
             tainted = True
-            roots = roots | frozenset((self.seq,))
+            if track_roots:
+                roots = roots | frozenset((self.seq,))
             if self.forwarded_from is not None:
                 store = self.forwarded_from
                 deps = deps | store.out_deps
-                roots = roots | store.out_roots
+                if store.out_roots:
+                    roots = roots | store.out_roots
         if unresolved is not None and deps:
             deps = frozenset(deps & unresolved)
         if inflight_loads is not None and roots:

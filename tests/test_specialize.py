@@ -177,6 +177,38 @@ def test_fresh_image_reattaches_ops(monkeypatch):
     assert spec.regs == ref.regs
 
 
+def test_caches_stay_bounded_under_config_sweeps():
+    """A sweep over more latency profiles than either LRU holds must not
+    grow the plan or image caches past their caps, and the newest entries
+    must survive (LRU evicts from the cold end)."""
+    import dataclasses
+
+    from repro.uarch.decoded import image_cache_info
+
+    program = build_workload("gather", "test").assemble()
+    policy = make_policy("none")
+    spec_max = spec_cache_info()["max_entries"]
+    image_max = image_cache_info()["max_entries"]
+    sweep = max(spec_max, image_max) + 10
+    for alu_latency in range(1, sweep + 1):
+        config = dataclasses.replace(CoreConfig(), alu_latency=alu_latency)
+        image = decoded_image(program, config)
+        specialized_image(image, config, policy)
+    spec_info = spec_cache_info()
+    image_info = image_cache_info()
+    assert spec_info["entries"] <= spec_max
+    assert image_info["entries"] <= image_max
+    # The caps were actually exercised (the sweep overflowed both).
+    assert spec_info["entries"] == spec_max
+    assert image_info["entries"] == image_max
+    # The hottest (most recent) profile is still cached: re-requesting it
+    # must not miss.
+    misses_before = spec_cache_info()["misses"]
+    config = dataclasses.replace(CoreConfig(), alu_latency=sweep)
+    specialized_image(decoded_image(program, config), config, policy)
+    assert spec_cache_info()["misses"] == misses_before
+
+
 def test_defers_wakeup_skip_only_for_non_overriding_policies():
     """The per-completion defers_wakeup call may be elided only when the
     policy inherits the base (constant-False) implementation."""

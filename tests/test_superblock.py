@@ -1,0 +1,227 @@
+"""Superblock front end: partition invariants + bit-identical equivalence.
+
+The generated superblock fetch (``_sbf_<i>``) and dispatch (``_sbd_<i>``)
+ops replace the per-PC front-end loops, so the contract mirrors
+:mod:`tests.test_specialize`: a superblock run must be *bit-identical* to
+the same specialized core with the superblock fast path disabled — same
+CoreStats, same architectural registers, same memory-hierarchy counters —
+for every workload and every policy, plus a hypothesis property over
+random programs and random core geometries, resumable-slice equivalence,
+and the ``REPRO_NO_SUPERBLOCK`` escape hatch.  (Specialized-vs-interpreted
+equivalence is test_specialize's job; composing the two closures covers
+superblock-vs-interpreted.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.isa import Opcode
+from repro.secure import ALL_POLICY_NAMES, make_policy
+from repro.testing import programs
+from repro.uarch import CoreConfig, OooCore
+from repro.uarch.decoded import K_SEQ, _SB_MIN_RUN, decoded_image
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+POLICIES = tuple(sorted(ALL_POLICY_NAMES))
+
+
+def _run(program, policy_name, *, superblock, config=None,
+         max_cycles=5_000_000):
+    core = OooCore(
+        program,
+        config=config,
+        policy=make_policy(policy_name),
+        specialize=True,
+        superblock=superblock,
+    )
+    if superblock:
+        assert core._superblock or not core._decoded.superblocks
+    else:
+        assert not core._superblock
+    return core.run(max_cycles=max_cycles)
+
+
+# ------------------------------------------------------------ equivalence
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_suite_equivalence_under_every_policy(name):
+    """Superblock fast path is bit-identical to the per-PC front end
+    across the whole suite x policy grid."""
+    workload = build_workload(name, "test")
+    program = workload.assemble()
+    for policy_name in POLICIES:
+        fast = _run(program, policy_name, superblock=True)
+        slow = _run(program, policy_name, superblock=False)
+        label = f"{name}/{policy_name}"
+        assert fast.stats == slow.stats, label
+        assert fast.regs == slow.regs, label
+        assert fast.stats_dict() == slow.stats_dict(), label
+        assert workload.validate(fast.regs), label
+
+
+@st.composite
+def _small_configs(draw):
+    """Random cramped-to-roomy core geometries; stress every stall path
+    (a fetch queue smaller than a run forces mid-superblock stalls)."""
+    iq_size = draw(st.integers(4, 32))
+    return CoreConfig(
+        fetch_width=draw(st.integers(1, 4)),
+        dispatch_width=draw(st.integers(1, 4)),
+        issue_width=draw(st.integers(1, 4)),
+        commit_width=draw(st.integers(1, 4)),
+        rob_size=draw(st.integers(iq_size, 64)),
+        iq_size=iq_size,
+        lq_size=draw(st.integers(2, 16)),
+        sq_size=draw(st.integers(2, 16)),
+        fetch_queue_size=draw(st.integers(2, 16)),
+        frontend_latency=draw(st.integers(1, 8)),
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    source=programs(),
+    policy_name=st.sampled_from(POLICIES),
+    config=_small_configs(),
+)
+def test_superblock_never_diverges(source, policy_name, config):
+    """Property: random program geometry, random core geometry, any
+    policy — superblock and per-PC front ends are bit-identical."""
+    program = assemble(source, name="hypothesis")
+    fast = _run(program, policy_name, superblock=True, config=config,
+                max_cycles=2_000_000)
+    slow = _run(program, policy_name, superblock=False, config=config,
+                max_cycles=2_000_000)
+    assert fast.stats == slow.stats
+    assert fast.regs == slow.regs
+
+
+def test_sliced_advance_pauses_mid_superblock():
+    """advance(limit, stop_cycle) with a pause that lands mid-run is
+    bit-identical to the one-shot run, in both front-end modes (the
+    resumable-slice path the lockstep executor uses must not observe
+    the superblock packet boundary)."""
+    program = build_workload("branchy", "test").assemble()
+    for superblock in (True, False):
+        one_shot = _run(program, "levioso", superblock=superblock)
+        core = OooCore(
+            program, policy=make_policy("levioso"),
+            specialize=True, superblock=superblock,
+        )
+        # Tiny odd quantum: pause points land at arbitrary offsets inside
+        # fetched superblock packets.
+        stop = 7
+        while not core.advance(5_000_000, stop):
+            stop += 7
+        sliced = core._result()
+        assert sliced.stats == one_shot.stats, superblock
+        assert sliced.regs == one_shot.regs, superblock
+        assert sliced.stats_dict() == one_shot.stats_dict(), superblock
+
+
+# ----------------------------------------------------- partition invariants
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_partition_invariants(name):
+    """Every superblock is a maximal straight-line run of plain
+    instructions with correct backrefs and no interior entry points."""
+    program = build_workload(name, "test").assemble()
+    image = decoded_image(program, CoreConfig())
+    interior_pcs = set()
+    for sb in image.superblocks:
+        assert sb.n == len(sb.decs) == len(sb.pcs) == len(sb.meta)
+        assert sb.n >= _SB_MIN_RUN
+        for pos, dec in enumerate(sb.decs):
+            # Only plain sequential instructions — no terminators, no
+            # fences — and each one knows its run and offset.
+            assert dec.kind == K_SEQ
+            assert dec.opcode is not Opcode.FENCE
+            assert dec.sb is sb and dec.sb_pos == pos
+            if pos:
+                assert sb.decs[pos - 1].fallthrough == dec.pc
+                interior_pcs.add(dec.pc)
+        assert sb.next_pc == sb.decs[-1].fallthrough
+        assert sb.has_mem == any(cls for _, _, _, cls in sb.meta)
+    # No interior PC is a potential control-flow entry: branch/jump
+    # targets, fallthroughs of control flow, the program entry, and
+    # reconvergence PCs all start a new run.
+    assert program.entry not in interior_pcs
+    for inst in program.instructions:
+        opcode = inst.opcode
+        if opcode.is_branch:
+            assert inst.branch_target not in interior_pcs
+            assert inst.fallthrough not in interior_pcs
+        elif opcode is Opcode.JAL:
+            assert inst.imm not in interior_pcs
+            assert inst.fallthrough not in interior_pcs
+        elif opcode is Opcode.JALR:
+            assert inst.fallthrough not in interior_pcs
+    for dec in image.by_pc.values():
+        if dec.reconv_pc is not None:
+            assert dec.reconv_pc not in interior_pcs
+    # Instructions outside every run are exactly the non-K_SEQ/FENCE ones
+    # plus runs shorter than the minimum.
+    for dec in image.by_pc.values():
+        if dec.sb is None:
+            continue
+        assert dec is dec.sb.decs[dec.sb_pos]
+
+
+# ------------------------------------------------------------- diagnostics
+def test_hit_rate_counters_and_profile_report():
+    """The off-CoreStats fast-path counters move and stay bounded, and
+    the profile report surfaces them."""
+    program = build_workload("gather", "test").assemble()
+    core = OooCore(program, policy=make_policy("levioso"),
+                   specialize=True, superblock=True)
+    result = core.run()
+    assert core._superblock
+    assert core._sb_fetched > 0
+    assert 0 < core._sb_committed <= result.stats.committed
+    assert core._sb_committed <= core._sb_fetched
+
+    from repro.profiling import profile_run
+
+    report = profile_run(program, "levioso", superblock=True)
+    sb = report["superblock"]
+    assert sb["enabled"]
+    assert sb["fetched_fast"] > 0
+    assert 0.0 < sb["hit_rate"] <= 1.0
+
+    # Counters must stay zero when the fast path is off.
+    off = OooCore(program, policy=make_policy("levioso"),
+                  specialize=True, superblock=False)
+    off.run()
+    assert off._sb_fetched == 0 and off._sb_committed == 0
+
+
+def test_env_override_forces_per_pc_front_end(monkeypatch):
+    program = build_workload("gather", "test").assemble()
+    monkeypatch.setenv("REPRO_NO_SUPERBLOCK", "1")
+    core = OooCore(program, policy=make_policy("levioso"), specialize=True)
+    assert not core._superblock
+    ref = core.run()
+    monkeypatch.delenv("REPRO_NO_SUPERBLOCK")
+    fast_core = OooCore(program, policy=make_policy("levioso"),
+                        specialize=True)
+    assert fast_core._superblock
+    fast = fast_core.run()
+    assert fast.stats == ref.stats
+    assert fast.regs == ref.regs
+
+
+def test_interpreted_core_never_takes_fast_path():
+    """superblock=True without specialize=True must not enable the fast
+    path (the generated ops live on the specialized image)."""
+    program = build_workload("gather", "test").assemble()
+    core = OooCore(program, policy=make_policy("none"),
+                   specialize=False, cycle_skip=False,
+                   recycle_dyninsts=False, superblock=True)
+    assert not core._superblock
+    core.run()
+    assert core._sb_fetched == 0
