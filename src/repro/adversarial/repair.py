@@ -1,10 +1,10 @@
-"""Automatic fence repair: scan → fence one site → rescan, to fixpoint.
+"""Automatic repair: fence loops plus whole-pass mitigation strategies.
 
-The loop inserts exactly one fence per iteration (the lowest-pc finding
-first), because a batch insert is not minimal: a v1 gadget often carries
-two findings whose *load*-strategy sites collapse once the first fence
-closes the shared window, so fencing them together wastes a fence the
-rescan would have proven unnecessary.
+The classic fence strategies insert exactly one fence per iteration (the
+lowest-pc finding first), because a batch insert is not minimal: a v1
+gadget often carries two findings whose *load*-strategy sites collapse
+once the first fence closes the shared window, so fencing them together
+wastes a fence the rescan would have proven unnecessary.
 
 Termination argument (DESIGN.md, adversarial engine): each iteration
 fences a site whose refined open-window set is non-empty, and a fence
@@ -17,10 +17,14 @@ removed, so the scanner's finding set shrinks to ∅ or the iteration cap
 flags the program as irreparable (no synthesized or hand-written gadget
 needs more than ``len(findings)`` steps in practice).
 
-``cheapest`` runs both full strategies and keeps the one whose repaired
-program simulates in fewer cycles under the baseline policy (tie → fewer
-fences, then ``load``): the static count of fences is a poor cost proxy
-because a fallthrough fence outside the hot loop can beat a per-iteration
+Two mitigation-pass strategies ride the same interface: ``slh`` applies
+lifted (index-masking) SLH — masks only scanner-flagged transmitters, so
+independent work keeps pipelining where a fence would drain — and
+``selective`` applies batched selective fencing.  ``cheapest`` runs every
+strategy and keeps the one whose repaired program simulates in fewer
+cycles under the baseline policy (tie → fewer fences, then the listed
+order): the static count of fences is a poor cost proxy because a
+fallthrough fence outside the hot loop can beat a per-iteration
 transmitter fence inside it.
 """
 
@@ -36,6 +40,9 @@ from ..errors import AnalysisError
 #: Iteration backstop; every known gadget class repairs in <= 2 steps.
 MAX_ITERATIONS = 16
 
+#: ``cheapest`` candidate order; position is the final tie-breaker.
+STRATEGIES = ("load", "branch", "selective", "slh")
+
 
 @dataclass
 class RepairOutcome:
@@ -48,6 +55,7 @@ class RepairOutcome:
     iterations: int
     clean: bool                 # scanner-clean at exit
     steps: list[dict] = field(default_factory=list)
+    mitigation: str | None = None  # pass tag when a mitigation pass repaired it
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +65,7 @@ class RepairOutcome:
             "iterations": self.iterations,
             "clean": self.clean,
             "steps": self.steps,
+            "mitigation": self.mitigation,
         }
 
 
@@ -103,6 +112,52 @@ def _repair_with(
     )
 
 
+def _repair_with_mitigation(
+    program: Program, strategy: str, pass_name: str
+) -> RepairOutcome:
+    """Repair by applying a whole mitigation pass instead of a fence loop."""
+    from ..compiler.mitigations import apply_mitigation, mitigation_tag
+
+    try:
+        result = apply_mitigation(program, pass_name, name=program.name)
+    except AnalysisError:
+        # Pass inapplicable (e.g. no free registers for SLH, or no
+        # convergence): report an unclean outcome so ``cheapest`` falls
+        # back to the fence strategies instead of dying.
+        report = scan_program(program)
+        return RepairOutcome(
+            program=program,
+            source=program.source or "",
+            strategy=strategy,
+            fences_inserted=0,
+            iterations=0,
+            clean=report.clean,
+            steps=[],
+        )
+    report = scan_program(result.program)
+    stats = result.stats
+    steps = []
+    if result.changed:
+        steps.append(
+            {
+                "iteration": 0,
+                "strategy": strategy,
+                "pass": result.tag,
+                "stats": dict(stats),
+            }
+        )
+    return RepairOutcome(
+        program=result.program,
+        source=result.program.source or "",
+        strategy=strategy,
+        fences_inserted=int(stats.get("fences_inserted", 0)),
+        iterations=int(stats.get("iterations", 0)),
+        clean=report.clean,
+        steps=steps,
+        mitigation=mitigation_tag(pass_name) if result.changed else None,
+    )
+
+
 def _simulated_cycles(program: Program) -> int:
     """Baseline-policy cycle count of the repaired program (cost signal)."""
     from ..secure import make_policy
@@ -112,37 +167,50 @@ def _simulated_cycles(program: Program) -> int:
     return core.run().cycles
 
 
+def _run_strategy(
+    program: Program, strategy: str, max_iterations: int
+) -> RepairOutcome:
+    if strategy in ("load", "branch"):
+        return _repair_with(program, strategy, max_iterations)
+    if strategy == "slh":
+        return _repair_with_mitigation(program, strategy, "slh-lifted")
+    if strategy == "selective":
+        return _repair_with_mitigation(program, strategy, "selective")
+    raise AnalysisError(
+        f"unknown repair strategy {strategy!r}; "
+        f"know {', '.join(STRATEGIES)}, cheapest"
+    )
+
+
 def repair_program(
     program: Program,
     strategy: str = "load",
     max_iterations: int = MAX_ITERATIONS,
 ) -> RepairOutcome:
-    """Drive ``program`` to scanner-clean by iterative fence insertion.
+    """Drive ``program`` to scanner-clean.
 
     Strategies: ``load`` fences the transmitter, ``branch`` the guard's
-    fallthrough, ``cheapest`` both-then-pick (see module docstring).
+    fallthrough, ``selective`` batch-fences all transmitters per round,
+    ``slh`` applies lifted speculative load hardening, ``cheapest``
+    all-then-pick (see module docstring).
     """
-    if strategy in ("load", "branch"):
-        return _repair_with(program, strategy, max_iterations)
     if strategy != "cheapest":
-        raise AnalysisError(
-            f"unknown repair strategy {strategy!r}; "
-            "know load, branch, cheapest"
+        return _run_strategy(program, strategy, max_iterations)
+    if scan_program(program).clean:
+        # Already clean: every strategy is the identity; report the default.
+        return _repair_with(program, "load", max_iterations)
+    candidates = [
+        _run_strategy(program, name, max_iterations) for name in STRATEGIES
+    ]
+    clean = [c for c in candidates if c.clean]
+    pool = clean or candidates
+    costed = [
+        (
+            _simulated_cycles(outcome.program),
+            outcome.fences_inserted,
+            index,
         )
-    by_load = _repair_with(program, "load", max_iterations)
-    by_branch = _repair_with(program, "branch", max_iterations)
-    if by_load.clean != by_branch.clean:
-        return by_load if by_load.clean else by_branch
-    if not by_load.fences_inserted:  # already clean: identical outcomes
-        return by_load
-    load_cost = (
-        _simulated_cycles(by_load.program),
-        by_load.fences_inserted,
-        0,  # tie → load
-    )
-    branch_cost = (
-        _simulated_cycles(by_branch.program),
-        by_branch.fences_inserted,
-        1,
-    )
-    return by_load if load_cost <= branch_cost else by_branch
+        for index, outcome in enumerate(pool)
+    ]
+    best = min(range(len(pool)), key=lambda i: costed[i])
+    return pool[best]

@@ -47,6 +47,10 @@ class AbsValue:
     secret_direct: bool = False     # derives from a .secret-range load
     secret_spec: bool = False       # derives from a speculatively-reachable secret
     secret_srcs: frozenset[int] = NO_PCS  # load pcs where secrecy entered
+    # Sanitized by AND-ing with the program's declared ``.slhmask`` register:
+    # zero whenever execution is misspeculated, so the value cannot carry a
+    # transiently-reached secret (must hold on *all* joined paths).
+    masked: bool = False
 
     @property
     def secret(self) -> bool:
@@ -60,6 +64,7 @@ class AbsValue:
             secret_direct=self.secret_direct or other.secret_direct,
             secret_spec=self.secret_spec or other.secret_spec,
             secret_srcs=self.secret_srcs | other.secret_srcs,
+            masked=self.masked and other.masked,
         )
 
 
@@ -159,6 +164,18 @@ class SecretTaint(DataflowProblem):
         op = inst.opcode
         a = state[inst.rs1] if op.reads_rs1 else ZERO
         b = state[inst.rs2] if op.reads_rs2 else ZERO
+        # SLH sanitization contract: AND with the declared ``.slhmask``
+        # register yields 0 under misspeculation, so the result cannot be a
+        # transiently-reached secret regardless of the operand's lineage.
+        mask_reg = self.context.program.slh_mask
+        if (
+            mask_reg is not None
+            and op is Opcode.AND
+            and mask_reg in (inst.rs1, inst.rs2)
+            and inst.rd != mask_reg
+        ):
+            other = b if inst.rs1 == mask_reg else a
+            return AbsValue(tainted=other.tainted, masked=True)
         const: int | None = None
         if (not op.reads_rs1 or a.const is not None) and (
             not op.reads_rs2 or b.const is not None
@@ -196,6 +213,10 @@ class SecretTaint(DataflowProblem):
             if ctx.assume_rom:
                 const = _initial_data_value(program, address, size, inst.opcode)
             return AbsValue(const=const, tainted=True)
+        # A masked base is forced to zero on every misspeculated path, so
+        # the load cannot be steered into secret data transiently.
+        if base.masked:
+            return AbsValue(tainted=True)
         # Unknown address: under an unresolved-branch window an attacker-
         # steered index may reach any secret the program declares.
         if ctx.has_secrets and ctx.guards_of(inst.pc):

@@ -77,7 +77,7 @@ class Assembler:
     # ----------------------------------------------------------------- public
     def assemble(self, source: str, name: str = "program") -> Program:
         statements = parse_source(source)
-        pending, data, symbols, secrets, entry = self._pass1(statements)
+        pending, data, symbols, secrets, entry, slh_mask = self._pass1(statements)
         instructions = [self._resolve(p, symbols) for p in pending]
         return Program(
             instructions=instructions,
@@ -89,12 +89,16 @@ class Assembler:
             entry=entry if entry is not None else self.text_base,
             name=name,
             source=source,
+            slh_mask=slh_mask,
         )
 
     # ----------------------------------------------------------------- pass 1
     def _pass1(
         self, statements: list[Statement]
-    ) -> tuple[list[_PendingInst], bytearray, dict[str, int], list[SecretRange], int | None]:
+    ) -> tuple[
+        list[_PendingInst], bytearray, dict[str, int], list[SecretRange],
+        int | None, int | None,
+    ]:
         section = "text"
         text_pc = self.text_base
         data = bytearray()
@@ -104,6 +108,7 @@ class Assembler:
         secret_open: tuple[int, str] | None = None  # (start offset, name)
         entry_symbol: str | None = None
         pending_label: str | None = None
+        slh_mask: int | None = None
 
         def data_addr() -> int:
             return self.data_base + len(data)
@@ -203,6 +208,14 @@ class Assembler:
             elif name == ".public":
                 self._require_data(section, name, line)
                 close_secret()
+            elif name == ".slhmask":
+                # Declares the SLH misspeculation-predicate register the
+                # emitting compiler pass threads through every conditional
+                # branch (the taint analysis's sanitization contract).
+                reg = _reg_of(self._one_operand(stmt), line)
+                if reg == 0:
+                    raise AssemblerError(".slhmask register must not be x0", line)
+                slh_mask = reg
             else:
                 raise AssemblerError(f"unknown directive {name}", line)
 
@@ -212,7 +225,7 @@ class Assembler:
             if entry_symbol not in symbols:
                 raise AssemblerError(f".entry references undefined {entry_symbol!r}")
             entry = symbols[entry_symbol]
-        return pending, data, symbols, secrets, entry
+        return pending, data, symbols, secrets, entry, slh_mask
 
     # ----------------------------------------------------------------- pass 2
     def _resolve(self, p: _PendingInst, symbols: dict[str, int]) -> Instruction:

@@ -62,6 +62,13 @@ class Program:
     # rewrites at the source level and reassembles, so jump tables and
     # label arithmetic re-resolve instead of being patched in the binary.
     source: str | None = field(default=None, repr=False, compare=False)
+    # Register declared via the ``.slhmask`` directive: the SLH passes'
+    # misspeculation predicate (-1 on the correct path, 0 after threading a
+    # mispredicted branch).  Declaring it is a guarantee by the emitting
+    # pass — every conditional branch guarding a masked access updates the
+    # register — which the taint analysis assumes: AND-ing with it yields a
+    # secret-free value (see DESIGN.md, software mitigations).
+    slh_mask: int | None = None
 
     def __post_init__(self) -> None:
         self._by_pc = {inst.pc: inst for inst in self.instructions}

@@ -13,6 +13,9 @@ Subcommands::
                                          # scan, oracle-judge, repair
     repro repair TARGET [--strategy S] [--emit F]
                                          # fence repair + oracle certification
+    repro mitigate TARGET --pass P [--emit F]
+                                         # software mitigation pass + dual
+                                         # certification (equivalence, oracle)
     repro attack NAME [--policy P] [--secret N]
     repro pipeline FILE.s [--policy P]   # per-instruction timeline view
     repro profile TARGET [--policy P] [--sort cumtime] [--json]
@@ -75,14 +78,15 @@ def _resolve_program(target: str, scale: str = "test"):
 
     if os.path.exists(target):
         return _load_source(target)
-    if target in WORKLOAD_NAMES or target.startswith("fuzz/"):
+    if (target in WORKLOAD_NAMES or target.startswith("fuzz/")
+            or target.startswith("mit/")):
         return build_workload(target, scale=scale).assemble()
     if target in ATTACKS:
         return ATTACKS[target]()
     raise ReproError(
         f"unknown target {target!r}: not a file, workload "
         f"({', '.join(WORKLOAD_NAMES)}), fuzz/s<seed>/i<index>/f<fill> name, "
-        f"or attack ({', '.join(sorted(ATTACKS))})"
+        f"mit/<pass>/<base> variant, or attack ({', '.join(sorted(ATTACKS))})"
     )
 
 
@@ -376,10 +380,9 @@ def cmd_repair(args) -> int:
         core = OooCore(prog, policy=make_policy(args.policy))
         return core.run().cycles
 
+    changed = bool(outcome.fences_inserted or outcome.mitigation)
     base_cycles = cycles(program)
-    repaired_cycles = (
-        cycles(outcome.program) if outcome.fences_inserted else base_cycles
-    )
+    repaired_cycles = cycles(outcome.program) if changed else base_cycles
     certified = outcome.clean and not verdict_after.leaks
 
     if args.json:
@@ -398,6 +401,7 @@ def cmd_repair(args) -> int:
                 "oracle": verdict_after.verdict,
             },
             "fences_inserted": outcome.fences_inserted,
+            "mitigation": outcome.mitigation,
             "iterations": outcome.iterations,
             "steps": outcome.steps,
             "cycles": {"base": base_cycles, "repaired": repaired_cycles},
@@ -410,12 +414,19 @@ def cmd_repair(args) -> int:
         print(f"before:    {len(before.findings)} finding(s), "
               f"oracle {verdict_before.verdict}")
         for step in outcome.steps:
-            print(f"  fence at {step['site']:#x} "
-                  f"(iteration {step['iteration']}, {step['kind']} "
-                  f"transmitter at {step['pc']:#x})")
+            if "site" in step:
+                print(f"  fence at {step['site']:#x} "
+                      f"(iteration {step['iteration']}, {step['kind']} "
+                      f"transmitter at {step['pc']:#x})")
+            else:
+                print(f"  applied pass {step['pass']} "
+                      f"({step.get('stats', {})})")
         print(f"after:     {'clean' if outcome.clean else 'STILL FLAGGED'}, "
               f"oracle {verdict_after.verdict}")
-        print(f"cost:      {outcome.fences_inserted} fence(s), "
+        cost = f"{outcome.fences_inserted} fence(s)"
+        if outcome.mitigation:
+            cost = f"pass {outcome.mitigation}, {cost}"
+        print(f"cost:      {cost}, "
               f"{base_cycles} -> {repaired_cycles} cycles "
               f"({repaired_cycles / base_cycles:.3f}x)")
         print(f"verdict:   {'CERTIFIED SECURE' if certified else 'NOT CERTIFIED'}")
@@ -424,6 +435,39 @@ def cmd_repair(args) -> int:
             f.write(outcome.source)
         print(f"repaired source written to {args.emit}")
     return 0 if certified else 1
+
+
+def cmd_mitigate(args) -> int:
+    from .compiler.mitigations import certify_mitigation
+
+    program = _resolve_program(args.target, scale=args.scale)
+    result, certificate = certify_mitigation(
+        program, args.pass_name, name=f"{program.name}+{args.pass_name}"
+    )
+    if args.json:
+        import json
+
+        payload = certificate.to_dict()
+        payload["target"] = args.target
+        payload["changed"] = result.changed
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"target:      {args.target} (pass {result.tag})")
+        stats = ", ".join(f"{k}={v}" for k, v in sorted(result.stats.items()))
+        print(f"transform:   {stats or 'no change needed'}")
+        print(f"equivalent:  {'yes' if certificate.equivalent else 'NO'} "
+              f"({certificate.baseline_instructions} -> "
+              f"{certificate.mitigated_instructions} instructions, "
+              f"{certificate.instruction_overhead:+.1%})")
+        print(f"scanner:     {'clean' if certificate.scanner_clean else str(certificate.findings_left) + ' finding(s) left'}")
+        print(f"oracle:      {certificate.oracle_verdict} (policy none)")
+        print(f"verdict:     "
+              f"{'CERTIFIED' if certificate.certified else 'NOT CERTIFIED'}")
+    if args.emit:
+        with open(args.emit, "w") as f:
+            f.write(result.program.source or "")
+        print(f"mitigated source written to {args.emit}")
+    return 0 if certificate.certified else 1
 
 
 def _make_cache(args) -> ResultCache | None:
@@ -1067,15 +1111,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="none", choices=ALL_POLICY_NAMES,
                    help="policy to certify and cost under (default: none)")
     p.add_argument("--strategy", default="load",
-                   choices=("load", "branch", "cheapest"),
+                   choices=("load", "branch", "selective", "slh", "cheapest"),
                    help="fence placement: at the transmitter (load), the "
-                   "guard's fallthrough (branch), or simulate both and "
-                   "keep the faster (cheapest)")
+                   "guard's fallthrough (branch), batched transmitter "
+                   "fencing (selective), lifted speculative load hardening "
+                   "(slh), or simulate all and keep the fastest (cheapest)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     p.add_argument("--emit", default=None, metavar="FILE",
                    help="write the repaired assembly source to FILE")
     p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser(
+        "mitigate",
+        help="apply a software mitigation pass and certify it both ways "
+        "(architectural equivalence + differential oracle)",
+    )
+    p.add_argument("target", metavar="TARGET",
+                   help="assembly file, workload/fuzz name, or attack name")
+    from .compiler.mitigations import MITIGATION_PASSES as _MIT_PASSES
+
+    p.add_argument("--pass", dest="pass_name", required=True,
+                   choices=_MIT_PASSES,
+                   help="mitigation pass to apply")
+    p.add_argument("--scale", default="test", choices=("test", "ref"),
+                   help="workload scale for named targets (default: test)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable certificate")
+    p.add_argument("--emit", default=None, metavar="FILE",
+                   help="write the mitigated assembly source to FILE")
+    p.set_defaults(func=cmd_mitigate)
 
     p = sub.add_parser("attack", help="run a Spectre gadget under a policy")
     p.add_argument("name", choices=sorted(ATTACKS))

@@ -1,0 +1,187 @@
+"""Dual certification of mitigation passes: equivalence and security.
+
+Every mitigated program is judged on two independent axes before it is
+trusted as a software baseline:
+
+* **architectural equivalence** — the functional simulator runs baseline
+  and mitigated images to completion and the final states must match bit
+  for bit — all 32 registers and every touched memory page — *up to code
+  relocation*: source-level insertion moves instructions, so a value that
+  is exactly the baseline address of a text-segment symbol is accepted
+  when the mitigated state holds that same symbol's relocated address
+  (the v2 gadget's function-pointer table is the canonical case).  Any
+  other divergence fails; the passes are transformations of *timing*,
+  never of meaning.  The 14 SPEClite kernels hold no code pointers at
+  all, so for them this degrades to strict bit-for-bit equality;
+* **security** — the PR-7 differential oracle must return SECURE for the
+  mitigated program under hardware policy ``none`` (the software carries
+  the whole burden), and the static scanner must report it clean.
+
+``certify`` bundles both into a :class:`MitigationCertificate`; the CLI,
+tests, and CI smoke job all consume the same record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...asm.program import Program
+from ...mem.backing import PAGE_SIZE
+
+#: Generous instruction budget: SLH at most ~7x's the dynamic count of the
+#: largest workload, which retires well under a million instructions.
+MAX_INSTRUCTIONS = 20_000_000
+
+_WORD = 8
+
+
+@dataclass
+class MitigationCertificate:
+    """Evidence that a mitigated program is both correct and secure."""
+
+    pass_name: str
+    version: int
+    program_name: str
+    equivalent: bool
+    oracle_verdict: str
+    scanner_clean: bool
+    findings_left: int
+    baseline_instructions: int
+    mitigated_instructions: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def certified(self) -> bool:
+        return (
+            self.equivalent
+            and self.oracle_verdict == "SECURE"
+            and self.scanner_clean
+        )
+
+    @property
+    def instruction_overhead(self) -> float:
+        """Dynamic instruction-count overhead of the mitigation."""
+        if not self.baseline_instructions:
+            return 0.0
+        return self.mitigated_instructions / self.baseline_instructions - 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "version": self.version,
+            "program": self.program_name,
+            "certified": self.certified,
+            "equivalent": self.equivalent,
+            "oracle_verdict": self.oracle_verdict,
+            "scanner_clean": self.scanner_clean,
+            "findings_left": self.findings_left,
+            "baseline_instructions": self.baseline_instructions,
+            "mitigated_instructions": self.mitigated_instructions,
+            "instruction_overhead": round(self.instruction_overhead, 6),
+            "stats": dict(self.stats),
+        }
+
+
+def _relocation_map(
+    baseline: Program,
+    mitigated: Program,
+    pc_map: dict[int, int] | None = None,
+) -> dict[int, int]:
+    """baseline code address -> its relocated address in the mitigated image.
+
+    Text-segment symbols relocate by name; the rewriter's ``pc_map``
+    additionally covers unlabeled addresses — in particular the ``jal``
+    return addresses (``jal_pc + 4`` is the next instruction's pc, whose
+    continuation address the map records).
+    """
+    reloc: dict[int, int] = {}
+    for symbol, address in baseline.symbols.items():
+        if baseline.text_base <= address < baseline.text_end:
+            moved = mitigated.symbols.get(symbol)
+            if moved is not None:
+                reloc[address] = moved
+    if pc_map:
+        reloc.update(pc_map)
+    return reloc
+
+
+def _values_match(base_value: int, mit_value: int, reloc: dict[int, int]) -> bool:
+    return base_value == mit_value or reloc.get(base_value) == mit_value
+
+
+def _memory_equivalent(base_mem, mit_mem, reloc: dict[int, int]) -> bool:
+    """Touched-page equality, tolerating relocated code-pointer words."""
+    zero = bytes(PAGE_SIZE)
+    pages = set(base_mem._pages) | set(mit_mem._pages)
+    for number in pages:
+        mine = bytes(base_mem._pages.get(number, zero))
+        theirs = bytes(mit_mem._pages.get(number, zero))
+        if mine == theirs:
+            continue
+        for offset in range(0, PAGE_SIZE, _WORD):
+            a = mine[offset:offset + _WORD]
+            b = theirs[offset:offset + _WORD]
+            if a == b:
+                continue
+            base_word = int.from_bytes(a, "little")
+            mit_word = int.from_bytes(b, "little")
+            if reloc.get(base_word) != mit_word:
+                return False
+    return True
+
+
+def architecturally_equivalent(
+    baseline: Program,
+    mitigated: Program,
+    max_instructions: int = MAX_INSTRUCTIONS,
+    pc_map: dict[int, int] | None = None,
+) -> bool:
+    """Run both programs functionally and compare final state (see module doc)."""
+    from ...functional.simulator import run_program
+
+    base = run_program(baseline, max_instructions=max_instructions)
+    mit = run_program(mitigated, max_instructions=max_instructions)
+    return _states_equivalent(baseline, mitigated, base, mit, pc_map)
+
+
+def _states_equivalent(baseline, mitigated, base, mit, pc_map=None) -> bool:
+    reloc = _relocation_map(baseline, mitigated, pc_map)
+    if any(
+        not _values_match(b, m, reloc)
+        for b, m in zip(base.regs, mit.regs)
+    ):
+        return False
+    return _memory_equivalent(base.state.memory, mit.state.memory, reloc)
+
+
+def certify(
+    baseline: Program,
+    mitigated: Program,
+    pass_name: str,
+    version: int,
+    stats: dict | None = None,
+    policy: str = "none",
+    pc_map: dict[int, int] | None = None,
+) -> MitigationCertificate:
+    """Certify a (baseline, mitigated) pair on both axes."""
+    from ...adversarial.oracle import program_verdict
+    from ...analysis.scanner import scan_program
+    from ...functional.simulator import run_program
+
+    base = run_program(baseline, max_instructions=MAX_INSTRUCTIONS)
+    mit = run_program(mitigated, max_instructions=MAX_INSTRUCTIONS)
+    equivalent = _states_equivalent(baseline, mitigated, base, mit, pc_map)
+    report = scan_program(mitigated)
+    verdict = program_verdict(mitigated, policy)
+    return MitigationCertificate(
+        pass_name=pass_name,
+        version=version,
+        program_name=baseline.name,
+        equivalent=equivalent,
+        oracle_verdict=verdict.verdict,
+        scanner_clean=report.clean,
+        findings_left=len(report.findings),
+        baseline_instructions=base.instructions,
+        mitigated_instructions=mit.instructions,
+        stats=dict(stats or {}),
+    )

@@ -1,0 +1,110 @@
+"""Fence-insertion mitigation passes: full (blunt) and selective (scanner-led).
+
+*Full fencing* places a ``fence`` at every speculation entry point the
+hardware window model knows: both successors of every conditional branch
+(the control-dependence region's entries) and the entry of every orphan
+landing pad (code reachable only through an indirect jump, the v2 shape).
+Every speculative window is therefore drained before its first instruction
+issues — the classic compiler baseline and the most expensive one, matching
+the paper's fence-class hardware policy in scope.
+
+*Selective fencing* fences only scanner-flagged transmitter windows
+(PR-2 gadget scanner): batch-fence every finding's transmitter, rescan, and
+repeat to fixpoint.  It is the batched form of the repair loop's ``load``
+strategy and the cheapest pure-fence scheme.
+"""
+
+from __future__ import annotations
+
+from ...asm.program import Program
+from ...errors import AnalysisError
+from ...isa import INSTRUCTION_BYTES, Opcode
+from ..rewriter import ProgramRewriter, compose_pc_maps
+
+#: Backstop for selective fencing; every known gadget closes in <= 2 rounds.
+MAX_ROUNDS = 16
+
+
+def _orphan_entries(program: Program) -> list[int]:
+    """Entry pcs of code reachable only through indirect jumps."""
+    from ...analysis.scanner import _orphan_entries as scan_orphans
+    from ...cfg.builder import build_all_cfgs
+
+    covered: set[int] = set()
+    for cfg in build_all_cfgs(program):
+        covered.update(cfg.block_of_pc)
+    return scan_orphans(program, covered)
+
+
+def speculation_entry_sites(program: Program) -> list[int]:
+    """Every pc where a hardware speculation window begins.
+
+    Both successors of each conditional branch, plus each orphan landing
+    pad entry (entered mid-speculation through a predicted indirect jump).
+    Sites already holding a fence are skipped, making the pass idempotent.
+    """
+    sites: set[int] = set()
+    for inst in program.instructions:
+        if inst.is_branch:
+            for pc in (inst.pc + INSTRUCTION_BYTES, inst.imm):
+                succ = program.try_inst_at(pc)
+                if succ is not None and succ.opcode is not Opcode.FENCE:
+                    sites.add(pc)
+    for pc in _orphan_entries(program):
+        entry = program.try_inst_at(pc)
+        if entry is not None and entry.opcode is not Opcode.FENCE:
+            sites.add(pc)
+    return sorted(sites)
+
+
+def _fence_sites(program: Program, sites: list[int], name: str | None):
+    """Fence the given pcs, returning (program, pc_map)."""
+    rewriter = ProgramRewriter(program)
+    for pc in sites:
+        rewriter.insert_before(pc, "fence")
+    return rewriter.rewrite(name=name or program.name), rewriter.pc_map
+
+
+def full_fence(program: Program, name: str | None = None) -> tuple[Program, dict]:
+    """Fence every speculation entry point; returns (program, stats)."""
+    sites = speculation_entry_sites(program)
+    if not sites:
+        return program, {"fences_inserted": 0, "iterations": 1}
+    mitigated, pc_map = _fence_sites(program, sites, name)
+    return mitigated, {
+        "fences_inserted": len(sites), "iterations": 1, "pc_map": pc_map,
+    }
+
+
+def selective_fence(
+    program: Program, name: str | None = None, max_rounds: int = MAX_ROUNDS
+) -> tuple[Program, dict]:
+    """Fence only scanner-flagged transmitters, to fixpoint."""
+    from ...analysis.scanner import scan_program
+
+    current = program
+    fences = 0
+    pc_map: dict[int, int] | None = None
+    for round_index in range(max_rounds):
+        report = scan_program(current)
+        if report.clean:
+            stats = {"fences_inserted": fences, "iterations": round_index}
+            if pc_map is not None:
+                stats["pc_map"] = pc_map
+            return current, stats
+        sites = sorted({finding.pc for finding in report.findings})
+        current, round_map = _fence_sites(current, sites, name)
+        pc_map = (
+            round_map if pc_map is None else compose_pc_maps(pc_map, round_map)
+        )
+        fences += len(sites)
+    report = scan_program(current)
+    if not report.clean:
+        raise AnalysisError(
+            f"selective fencing did not converge on {program.name!r} "
+            f"within {max_rounds} rounds ({len(report.findings)} finding(s) left)"
+        )
+    stats = {"fences_inserted": fences, "iterations": max_rounds}
+    if pc_map is not None:
+        stats["pc_map"] = pc_map
+    return current, stats

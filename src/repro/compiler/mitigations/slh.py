@@ -1,0 +1,266 @@
+"""Speculative load hardening (SLH) as a source-level compiler pass.
+
+The pass threads a *misspeculation predicate* through the program using
+only existing ALU opcodes — no ISA change:
+
+* a reserved mask register ``M`` starts at ``-1`` (all ones);
+* every instrumented conditional branch updates it on **both** edges with
+  an ``SLT``/``SLTU``/``SUB``-based recomputation of its own condition
+  (the registers it compared are still live right after the branch):
+  ``M &= -1`` when the taken/not-taken direction agrees with the
+  condition, ``M &= 0`` when it does not.  On the correct path ``M``
+  stays ``-1``; on any misspeculated path the first instrumented branch
+  zeroes it — and because the update is *data-dependent* on the branch
+  operands, a hardened access cannot issue before the condition's inputs
+  resolve, which is exactly the SLH ordering trick;
+* hardened memory accesses compute their address, then AND it with ``M``
+  (``addi T, base, imm; and T, T, M; op data, 0(T)``): the identity under
+  correct speculation, address 0 — a secret-independent constant — under
+  misspeculation.
+
+The taken edge is instrumented without critical-edge machinery by
+redirecting the branch to a per-branch trampoline appended at the end of
+the text segment (update, then ``j`` back to a fresh label bound to the
+original target's address).  The not-taken update is inserted directly
+after the branch line, *before* any labels on the fallthrough line, so
+jumps into the fallthrough block skip it: updates are per-edge.
+
+Indirect-jump windows (v2 landing pads) cannot be predicated — the
+predicate guards condition outcomes, not targets — so both variants drain
+them with a fence at each orphan landing-pad entry, the retpoline stand-in
+on this substrate.
+
+Two variants:
+
+* **conservative** — instrument every conditional branch, harden every
+  memory access (loads, stores, ``cflush``): whole-program SLH;
+* **lifted** (index-masking, per "Do You Even Lift?") — scanner-informed:
+  harden only scanner-flagged transmitters and instrument only their
+  guarding branches; v2/jalr-guarded findings get a transmitter fence.
+  A scanner-clean program is returned untouched.
+
+Architectural equivalence: ``M``/``T`` are chosen from registers the
+program never references, ``M == -1`` on every architectural path (so the
+masking is the identity), and both registers are re-zeroed before every
+``halt`` — the full 32-register final state matches the baseline bit for
+bit.  The pass emits a ``.slhmask M`` directive so the static taint
+analysis knows AND-with-``M`` sanitizes (the assume-guarantee contract).
+"""
+
+from __future__ import annotations
+
+from ...asm.program import Program
+from ...errors import AnalysisError
+from ...isa import Opcode, register_name
+from ..rewriter import ProgramRewriter, compose_pc_maps
+from .fencing import _orphan_entries
+
+#: Scratch-register preference: temporaries first, then saved/argument
+#: registers; ra/sp/gp/tp stay reserved for their ABI roles.
+_CANDIDATES = tuple(
+    list(range(28, 32))      # t3..t6
+    + [5, 6, 7]              # t0..t2
+    + list(range(18, 28))    # s2..s11
+    + [8, 9]                 # s0, s1
+    + list(range(10, 18))    # a0..a7
+)
+
+#: Lifted SLH rescans after rewriting; known gadgets converge in one round.
+MAX_ROUNDS = 4
+
+
+def free_registers(program: Program, count: int) -> list[int]:
+    """Registers the program never reads or writes, in preference order."""
+    used: set[int] = set()
+    for inst in program.instructions:
+        op = inst.opcode
+        if op.writes_rd:
+            used.add(inst.rd)
+        if op.reads_rs1:
+            used.add(inst.rs1)
+        if op.reads_rs2:
+            used.add(inst.rs2)
+    free = [r for r in _CANDIDATES if r not in used]
+    if len(free) < count:
+        raise AnalysisError(
+            f"SLH needs {count} unused registers but {program.name!r} "
+            f"leaves only {len(free)} free"
+        )
+    return free[:count]
+
+
+def _predicate_sequences(inst, mask: str, temp: str) -> tuple[list[str], list[str]]:
+    """(taken_edge, fallthrough_edge) mask-update sequences for a branch.
+
+    Each recomputes the branch condition into ``temp`` as 0/-1 — ``-1``
+    when the edge agrees with the condition (correct speculation), ``0``
+    when it does not — then folds it into the mask with ``and``.
+    """
+    a, b = register_name(inst.rs1), register_name(inst.rs2)
+    op = inst.opcode
+    if op in (Opcode.BEQ, Opcode.BNE):
+        # temp = (a != b) after the setup pair.
+        setup = [f"sub {temp}, {a}, {b}", f"sltu {temp}, zero, {temp}"]
+        neq_is_cond = op is Opcode.BNE
+    elif op in (Opcode.BLT, Opcode.BLTU, Opcode.BGE, Opcode.BGEU):
+        cmp_op = "slt" if op in (Opcode.BLT, Opcode.BGE) else "sltu"
+        # temp = (a < b) after setup.
+        setup = [f"{cmp_op} {temp}, {a}, {b}"]
+        neq_is_cond = op in (Opcode.BLT, Opcode.BLTU)
+    else:  # pragma: no cover - callers filter on is_branch
+        raise AnalysisError(f"not a conditional branch: {inst}")
+    # temp currently holds cond (1/0) if neq_is_cond else !cond.
+    to_minus_one_if_true = f"sub {temp}, zero, {temp}"   # 1 -> -1, 0 -> 0
+    to_minus_one_if_false = f"addi {temp}, {temp}, -1"   # 0 -> -1, 1 -> 0
+    fold = f"and {mask}, {mask}, {temp}"
+    if neq_is_cond:
+        taken = setup + [to_minus_one_if_true, fold]
+        fallthrough = setup + [to_minus_one_if_false, fold]
+    else:
+        taken = setup + [to_minus_one_if_false, fold]
+        fallthrough = setup + [to_minus_one_if_true, fold]
+    return taken, fallthrough
+
+
+def _rewrite(
+    program: Program,
+    branch_pcs: set[int],
+    harden_pcs: set[int],
+    fence_pcs: set[int],
+    name: str | None,
+) -> tuple[Program, dict]:
+    """Apply one SLH rewriting round over the given instruction sets."""
+    mask_idx, temp_idx = free_registers(program, 2)
+    mask, temp = register_name(mask_idx), register_name(temp_idx)
+    rewriter = ProgramRewriter(program)
+    rewriter.prepend(f".slhmask {mask}")
+
+    first_pc = program.instructions[0].pc
+    if program.entry == first_pc:
+        # Detached prelude above the first instruction *and* its labels:
+        # loops back to the original first label cannot reset the mask.
+        rewriter.insert_top(f"li {mask}, -1")
+    else:
+        # Custom ``.entry``: initialize at the entry instruction (jumps
+        # back to the entry label re-run the init — architecturally a
+        # no-op, and none of the suite uses ``.entry``).
+        rewriter.insert_before(program.entry, f"li {mask}, -1")
+
+    for pc in sorted(branch_pcs):
+        inst = program.inst_at(pc)
+        target = program.inst_at(inst.imm)  # raises on wild targets
+        trampoline = rewriter.fresh_label("__slh_t")
+        resume = rewriter.fresh_label("__slh_r")
+        taken_seq, fallthrough_seq = _predicate_sequences(inst, mask, temp)
+        rewriter.replace(
+            pc,
+            f"{inst.opcode.mnemonic} {register_name(inst.rs1)}, "
+            f"{register_name(inst.rs2)}, {trampoline}",
+        )
+        rewriter.insert_after(pc, *fallthrough_seq)
+        rewriter.insert_label(target.pc, resume)
+        rewriter.append_block(f"{trampoline}:", *taken_seq, f"j {resume}")
+
+    for pc in sorted(harden_pcs):
+        inst = program.inst_at(pc)
+        base = register_name(inst.rs1)
+        rewriter.insert_before(
+            pc, f"addi {temp}, {base}, {inst.imm}", f"and {temp}, {temp}, {mask}"
+        )
+        if inst.opcode is Opcode.CFLUSH:
+            rewriter.replace(pc, f"cflush 0({temp})")
+        else:
+            data = register_name(inst.rd if inst.is_load else inst.rs2)
+            rewriter.replace(pc, f"{inst.opcode.mnemonic} {data}, 0({temp})")
+
+    for pc in sorted(fence_pcs):
+        rewriter.insert_before(pc, "fence")
+
+    # Re-zero the scratch registers on every exit so the architectural
+    # final state is bit-identical to the baseline (both boot as 0 and the
+    # baseline never touches them).
+    for inst in program.instructions:
+        if inst.opcode is Opcode.HALT:
+            rewriter.insert_before(inst.pc, f"li {mask}, 0", f"li {temp}, 0")
+
+    mitigated = rewriter.rewrite(name=name or program.name)
+    stats = {
+        "instrumented_branches": len(branch_pcs),
+        "hardened_accesses": len(harden_pcs),
+        "fences_inserted": len(fence_pcs),
+        "trampolines": len(branch_pcs),
+        "mask_register": mask,
+        "pc_map": rewriter.pc_map,
+    }
+    return mitigated, stats
+
+
+def conservative_slh(
+    program: Program, name: str | None = None
+) -> tuple[Program, dict]:
+    """Whole-program SLH: every branch predicated, every access hardened."""
+    branch_pcs = {i.pc for i in program.instructions if i.is_branch}
+    harden_pcs = {
+        i.pc for i in program.instructions if i.is_mem and i.opcode.reads_rs1
+    }
+    fence_pcs = set(_orphan_entries(program))
+    mitigated, stats = _rewrite(program, branch_pcs, harden_pcs, fence_pcs, name)
+    stats["iterations"] = 1
+    return mitigated, stats
+
+
+def lifted_slh(
+    program: Program, name: str | None = None, max_rounds: int = MAX_ROUNDS
+) -> tuple[Program, dict]:
+    """Index-masking SLH: harden only scanner-flagged transmitters.
+
+    Per finding, the transmitter is hardened and its conditional guards
+    predicated; findings guarded (even partly) by indirect jumps get a
+    transmitter fence instead, since no branch predicate covers a
+    BTB-injected window.  Scanner-clean programs pass through untouched.
+    """
+    from ...analysis.scanner import scan_program
+
+    current = program
+    totals = {
+        "instrumented_branches": 0, "hardened_accesses": 0,
+        "fences_inserted": 0, "trampolines": 0,
+    }
+    pc_map: dict[int, int] | None = None
+    for round_index in range(max_rounds):
+        report = scan_program(current)
+        if report.clean:
+            totals["iterations"] = round_index
+            if pc_map is not None:
+                totals["pc_map"] = pc_map
+            return current, totals
+        branch_pcs: set[int] = set()
+        harden_pcs: set[int] = set()
+        fence_pcs: set[int] = set()
+        for finding in report.findings:
+            guards = [current.try_inst_at(g) for g in finding.guards]
+            conditional = [g for g in guards if g is not None and g.is_branch]
+            if len(conditional) < len(finding.guards):
+                fence_pcs.add(finding.pc)
+            else:
+                harden_pcs.add(finding.pc)
+                branch_pcs.update(g.pc for g in conditional)
+        current, stats = _rewrite(
+            current, branch_pcs, harden_pcs, fence_pcs, name
+        )
+        round_map = stats.pop("pc_map")
+        pc_map = (
+            round_map if pc_map is None else compose_pc_maps(pc_map, round_map)
+        )
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    report = scan_program(current)
+    if not report.clean:
+        raise AnalysisError(
+            f"lifted SLH did not converge on {program.name!r} within "
+            f"{max_rounds} rounds ({len(report.findings)} finding(s) left)"
+        )
+    totals["iterations"] = max_rounds
+    if pc_map is not None:
+        totals["pc_map"] = pc_map
+    return current, totals

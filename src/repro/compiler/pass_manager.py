@@ -14,16 +14,14 @@ re-resolve instead of being patched around in the binary.
 
 from __future__ import annotations
 
-import re
-
 from ..asm.program import Program
 from ..cfg.builder import build_all_cfgs
 from ..cfg.dom import PostDominatorInfo
-from ..errors import AnalysisError
 from ..isa import INSTRUCTION_BYTES, Opcode
 from .branch_deps import BranchDependencyInfo
 from .control_dep import control_dependent_pcs
 from .reconvergence import analyze_reconvergence
+from .rewriter import ProgramRewriter
 
 
 def run_levioso_pass(program: Program) -> BranchDependencyInfo:
@@ -56,56 +54,22 @@ def ensure_analysis(program: Program) -> BranchDependencyInfo:
 
 # --------------------------------------------------------------- fence repair
 
-#: ``label:`` (or several) at the start of a source line, instruction after.
-_LABEL_PREFIX = re.compile(r"^(\s*)((?:[A-Za-z_.$][\w.$]*:\s*)+)(\S.*)$")
-
 
 def insert_fences(program: Program, pcs: list[int], name: str | None = None) -> Program:
     """Insert a ``fence`` immediately before each instruction at ``pcs``.
 
-    Rewrites the program's assembly source and reassembles, shifting every
-    later pc by one slot — callers must re-run the scanner on the result
-    rather than reuse old pcs.  A ``label: inst`` line is split so the
-    fence lands *after* the label (jumps to the label must execute it);
-    indentation is copied from the annotated line.
+    Rewrites the program's assembly source through :class:`ProgramRewriter`
+    and reassembles, shifting every later pc by one slot — callers must
+    re-run the scanner on the result rather than reuse old pcs.  A
+    ``label: inst`` line is split so the fence lands *after* the label
+    (jumps to the label must execute it).
     """
-    if program.source is None:
-        raise AnalysisError(
-            f"program {program.name!r} carries no assembly source; "
-            "fence insertion rewrites source, not binaries"
-        )
     if not pcs:
         return program
-    lines = program.source.splitlines()
-    sites: dict[int, list[int]] = {}  # 0-based line index -> pcs (diagnostics)
-    for pc in pcs:
-        inst = program.inst_at(pc)  # raises on wild pcs: bad finding
-        if inst.source_line is None or not (1 <= inst.source_line <= len(lines)):
-            raise AnalysisError(
-                f"instruction at {pc:#x} has no source-line mapping"
-            )
-        sites.setdefault(inst.source_line - 1, []).append(pc)
-
-    for index in sorted(sites, reverse=True):
-        line = lines[index]
-        match = _LABEL_PREFIX.match(line)
-        if match and not match.group(3).startswith(("#", "//", ";")):
-            indent, labels, rest = match.groups()
-            if labels.rstrip().endswith(":") and not rest.startswith("."):
-                lines[index : index + 1] = [
-                    f"{indent}{labels.rstrip()}",
-                    f"{indent}    fence",
-                    f"{indent}    {rest}",
-                ]
-                continue
-        indent = line[: len(line) - len(line.lstrip())]
-        lines.insert(index, f"{indent}fence")
-
-    from ..asm.assembler import assemble
-
-    return assemble(
-        "\n".join(lines) + "\n", name=name or f"{program.name}+fence"
-    )
+    rewriter = ProgramRewriter(program)
+    for pc in sorted(set(pcs)):
+        rewriter.insert_before(pc, "fence")
+    return rewriter.rewrite(name=name or f"{program.name}+fence")
 
 
 def repair_sites(

@@ -1,0 +1,239 @@
+"""Source-level program rewriting shared by every compiler transform.
+
+Every mitigation pass (and the repair loop's fence insertion) mutates
+programs the same way: edit the assembly *source* and reassemble, so label
+arithmetic, jump tables (``.dword stub``) and the ``.secret`` layout all
+re-resolve instead of being patched around in the binary.  This module
+factors the label-splitting/reassembly mechanics out of
+``pass_manager.insert_fences`` into one utility:
+
+* :meth:`ProgramRewriter.insert_before` — instruction lines placed before
+  the instruction at a pc, *after* any labels on its line (jumps to the
+  label must execute the inserted code; this is the fence-insertion rule).
+* :meth:`ProgramRewriter.insert_after` — lines placed directly after the
+  instruction's line, *before* any labels on the following line (so jumps
+  into the fallthrough block skip them: per-edge instrumentation).
+* :meth:`ProgramRewriter.replace` — swap the instruction text on a line,
+  keeping its labels.
+* :meth:`ProgramRewriter.insert_label` — bind a fresh label to an existing
+  instruction's address (trampoline re-entry points).
+* :meth:`ProgramRewriter.insert_top` — detached lines above the first
+  instruction *and* its labels: a program prelude that runs once from the
+  default entry and is skipped by jumps back to the original first label.
+* :meth:`ProgramRewriter.append_block` / :meth:`ProgramRewriter.prepend`
+  — trampoline blocks at the end of the text segment / directives at the
+  top of the file.
+
+All edits are staged and applied in one :meth:`rewrite` call, so source
+line numbers never shift under the caller's feet.  An identity rewrite (no
+edits) reassembles to a bit-identical image (:func:`image_fingerprint`).
+
+After :meth:`rewrite`, :attr:`ProgramRewriter.pc_map` maps each original
+instruction's pc to its *continuation address* in the rewritten program:
+the first instruction of its edit block (before-insertions included,
+detached prelude and trampolines excluded).  This is the relocation a
+return address ``jal_pc + 4`` experiences, so equivalence checkers can
+compare final states across a rewrite without special-casing ``ra``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..errors import AnalysisError
+
+#: ``label:`` (or several) at the start of a source line, instruction after.
+_LABEL_PREFIX = re.compile(r"^(\s*)((?:[A-Za-z_.$][\w.$]*:\s*)+)(\S.*)$")
+
+
+@dataclass
+class _LineEdit:
+    """Staged edits for one source line (composed at rewrite time)."""
+
+    detached: list[str] = field(default_factory=list)  # above labels
+    labels: list[str] = field(default_factory=list)    # new labels for the pc
+    before: list[str] = field(default_factory=list)    # after labels, pre-inst
+    after: list[str] = field(default_factory=list)     # directly past the line
+    replacement: str | None = None                     # new instruction text
+
+
+class ProgramRewriter:
+    """Stage source-level edits against a program; reassemble once."""
+
+    def __init__(self, program: Program, indent: str = "    "):
+        if program.source is None:
+            raise AnalysisError(
+                f"program {program.name!r} carries no assembly source; "
+                "compiler transforms rewrite source, not binaries"
+            )
+        self.program = program
+        self.indent = indent
+        self._lines = program.source.splitlines()
+        self._edits: dict[int, _LineEdit] = {}
+        self._prepends: list[str] = []
+        self._appends: list[str] = []
+        self._fresh = 0
+        self.edited = False
+        # Original pc -> rewritten continuation pc; filled by rewrite().
+        self.pc_map: dict[int, int] = {}
+
+    # -------------------------------------------------------------- plumbing
+    def _line_index(self, pc: int) -> int:
+        inst = self.program.inst_at(pc)  # raises on wild pcs: bad caller
+        if inst.source_line is None or not (
+            1 <= inst.source_line <= len(self._lines)
+        ):
+            raise AnalysisError(
+                f"instruction at {pc:#x} has no source-line mapping"
+            )
+        return inst.source_line - 1
+
+    def _edit(self, pc: int) -> _LineEdit:
+        edit = self._edits.setdefault(self._line_index(pc), _LineEdit())
+        self.edited = True
+        return edit
+
+    def fresh_label(self, stem: str) -> str:
+        """A label not present in the program or issued before."""
+        while True:
+            name = f"{stem}{self._fresh}"
+            self._fresh += 1
+            if name not in self.program.symbols:
+                return name
+
+    # ----------------------------------------------------------------- edits
+    def insert_before(self, pc: int, *texts: str) -> None:
+        """Insert instruction lines before ``pc``, after its labels."""
+        self._edit(pc).before.extend(texts)
+
+    def insert_after(self, pc: int, *texts: str) -> None:
+        """Insert lines directly after ``pc``'s line (fallthrough edge)."""
+        self._edit(pc).after.extend(texts)
+
+    def replace(self, pc: int, text: str) -> None:
+        """Replace the instruction text at ``pc``, keeping its labels."""
+        edit = self._edit(pc)
+        if edit.replacement is not None:
+            raise AnalysisError(f"instruction at {pc:#x} replaced twice")
+        edit.replacement = text
+
+    def insert_label(self, pc: int, label: str) -> None:
+        """Bind an additional label to the instruction at ``pc``."""
+        self._edit(pc).labels.append(f"{label}:")
+
+    def insert_top(self, *texts: str) -> None:
+        """Prelude lines above the first instruction and its labels."""
+        if not self.program.instructions:
+            raise AnalysisError("cannot add a prelude to an empty program")
+        self._edit(self.program.instructions[0].pc).detached.extend(texts)
+
+    def prepend(self, *texts: str) -> None:
+        """Lines (directives) at the very top of the file."""
+        self._prepends.extend(texts)
+        self.edited = True
+
+    def append_block(self, *texts: str) -> None:
+        """Lines appended at the end of the file, in the text section."""
+        self._appends.extend(texts)
+        self.edited = True
+
+    # --------------------------------------------------------------- rewrite
+    def rewrite(self, name: str | None = None) -> Program:
+        """Apply all staged edits and reassemble; fills :attr:`pc_map`."""
+        from ..asm.assembler import assemble
+
+        lines: list[str] = list(self._prepends)
+        entry_line: dict[int, int] = {}  # original index -> 1-based new line
+        for index, line in enumerate(self._lines):
+            edit = self._edits.get(index)
+            if edit is None:
+                lines.append(line)
+                entry_line[index] = len(lines)
+                continue
+            composed, entry_offset = self._compose(line, edit)
+            entry_line[index] = len(lines) + entry_offset + 1
+            lines.extend(composed)
+        if self._appends:
+            # Re-open .text explicitly: the source may end in a data section.
+            lines.extend([".text", *self._appends])
+        rewritten = assemble(
+            "\n".join(lines) + "\n", name=name or self.program.name
+        )
+        pc_by_line: dict[int, int] = {}
+        for inst in rewritten.instructions:
+            if inst.source_line is not None:
+                pc_by_line.setdefault(inst.source_line, inst.pc)
+        self.pc_map = {}
+        for inst in self.program.instructions:
+            if inst.source_line is None:
+                continue
+            entry = entry_line.get(inst.source_line - 1)
+            if entry is not None and entry in pc_by_line:
+                self.pc_map[inst.pc] = pc_by_line[entry]
+        return rewritten
+
+    def _compose(self, line: str, edit: _LineEdit) -> tuple[list[str], int]:
+        """Expand one source line with its staged edits."""
+        match = _LABEL_PREFIX.match(line)
+        split = None
+        if match and not match.group(3).startswith(("#", "//", ";")):
+            indent, labels, rest = match.groups()
+            if labels.rstrip().endswith(":") and not rest.startswith("."):
+                split = (indent, labels.rstrip(), rest)
+        out: list[str] = []
+        if split is not None:
+            indent, labels, rest = split
+            body_indent = indent + self.indent
+            if edit.replacement is not None:
+                rest = edit.replacement
+            out += [f"{indent}{t}" for t in edit.detached]
+            out += [f"{indent}{lab}" for lab in edit.labels]
+            out.append(f"{indent}{labels}")
+            entry = len(out)  # first before-line, else the instruction itself
+            out += [f"{body_indent}{t}" for t in edit.before]
+            out.append(f"{body_indent}{rest}")
+            out += [f"{body_indent}{t}" for t in edit.after]
+            return out, entry
+        indent = line[: len(line) - len(line.lstrip())]
+        body = line if edit.replacement is None else f"{indent}{edit.replacement}"
+        out += [f"{indent}{t}" for t in edit.detached]
+        out += [f"{indent}{lab}" for lab in edit.labels]
+        entry = len(out)
+        out += [f"{indent}{t}" for t in edit.before]
+        out.append(body)
+        out += [f"{indent}{t}" for t in edit.after]
+        return out, entry
+
+
+def compose_pc_maps(first: dict[int, int], second: dict[int, int]) -> dict[int, int]:
+    """Chain two rewrite pc maps (multi-round passes relocate twice)."""
+    return {
+        pc: second[mid] for pc, mid in first.items() if mid in second
+    }
+
+
+def image_fingerprint(program: Program) -> str:
+    """Content hash of the *assembled image* (labels/line-notes excluded).
+
+    Two programs with equal fingerprints execute identically on every
+    simulator: same instruction stream, data image, layout, entry point and
+    secret/mask annotations.  The identity-rewrite property test pins
+    ``rewrite()`` with no edits to this.
+    """
+    body = [
+        program.text_base,
+        program.data_base,
+        program.entry,
+        program.data.hex(),
+        sorted(program.symbols.items()),
+        [(r.start, r.end, r.name) for r in program.secret_ranges],
+        program.slh_mask,
+        [
+            (i.pc, i.opcode.mnemonic, i.rd, i.rs1, i.rs2, i.imm)
+            for i in program.instructions
+        ],
+    ]
+    return hashlib.sha256(repr(body).encode()).hexdigest()

@@ -74,16 +74,23 @@ def config_fingerprint(config: CoreConfig) -> str:
 
 
 def workload_fingerprint(workload: "Workload", scale: str) -> str:
-    """Fingerprint of a workload's program bytes and metadata."""
-    return _stable_hash(
-        {
-            "name": workload.name,
-            "scale": scale,
-            "source": workload.source,
-            "check_reg": workload.check_reg,
-            "check_value": workload.check_value,
-        }
-    )
+    """Fingerprint of a workload's program bytes and metadata.
+
+    The mitigation tag (``<pass>@v<version>``) is mixed in only when set,
+    so every pre-existing plain-workload fingerprint is unchanged while a
+    mitigation-pass version bump invalidates exactly its own variants.
+    """
+    payload = {
+        "name": workload.name,
+        "scale": scale,
+        "source": workload.source,
+        "check_reg": workload.check_reg,
+        "check_value": workload.check_value,
+    }
+    mitigation = getattr(workload, "mitigation", None)
+    if mitigation:
+        payload["mitigation"] = mitigation
+    return _stable_hash(payload)
 
 
 def run_key(

@@ -10,6 +10,7 @@ from . import (
     fig3,
     fig4,
     fig5,
+    hw_vs_sw,
     table1,
     table2,
 )
@@ -27,6 +28,7 @@ EXPERIMENTS = {
     "ablationB": ablation_scope,
     "ablationC": ablation_mask,
     "energy": energy,
+    "swcmp": hw_vs_sw,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

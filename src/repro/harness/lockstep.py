@@ -133,7 +133,8 @@ def simulate_batch(args: tuple) -> dict:
                 f"(a0={result.regs[10]:#x}, want {workload.check_value:#x})"
             )
         records[key] = RunRecord.from_result(
-            point.workload, point.policy, result
+            point.workload, point.policy, result,
+            mitigation=getattr(workload, "mitigation", None),
         ).slim()
     return records
 

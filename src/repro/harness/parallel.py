@@ -349,6 +349,19 @@ def _grid_energy(runner: ExperimentRunner) -> list[GridPoint]:
     return _grid_overheads(mod.WORKLOAD_SUBSET, mod.POLICIES)
 
 
+def _grid_swcmp(runner: ExperimentRunner) -> list[GridPoint]:
+    from ..workloads import WORKLOAD_NAMES
+    from .experiments import hw_vs_sw as mod
+
+    points = _grid_overheads(WORKLOAD_NAMES, mod.HW_POLICIES)
+    points += [
+        GridPoint(f"mit/{p}/{w}", "none")
+        for w in WORKLOAD_NAMES
+        for p in mod.sw_passes()
+    ]
+    return points
+
+
 #: Experiments whose core-simulation grid is known statically.  The rest
 #: (table1/table2/fig5/ablationC) drive the simulators directly and gain
 #: nothing from prefetching.
@@ -360,6 +373,7 @@ GRID_PLANNERS: dict[str, Callable[[ExperimentRunner], list[GridPoint]]] = {
     "ablationA": _grid_ablation_a,
     "ablationB": _grid_ablation_b,
     "energy": _grid_energy,
+    "swcmp": _grid_swcmp,
 }
 
 

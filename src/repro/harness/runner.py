@@ -54,10 +54,20 @@ class RunRecord:
     # unit of comparison); None on plain runs.  Slim and JSON-serializable,
     # so it survives the cache like every other counter.
     obs_digest: str | None = None
+    # Software-mitigation tag (``<pass>@v<version>``) applied to the
+    # workload, or None for plain runs; recorded so cached results are
+    # never conflated across mitigation-pass versions.
+    mitigation: str | None = None
     result: SimResult | None = field(repr=False, default=None)
 
     @classmethod
-    def from_result(cls, workload: str, policy: str, result: SimResult) -> "RunRecord":
+    def from_result(
+        cls,
+        workload: str,
+        policy: str,
+        result: SimResult,
+        mitigation: str | None = None,
+    ) -> "RunRecord":
         stats = result.stats
         observations = result.observations
         return cls(
@@ -76,6 +86,7 @@ class RunRecord:
             obs_digest=(
                 observations.digest() if observations is not None else None
             ),
+            mitigation=mitigation,
             result=result,
         )
 
@@ -206,7 +217,10 @@ class ExperimentRunner:
                 f"{workload_name} under {policy_name}: self-check failed "
                 f"(a0={result.regs[10]:#x}, want {workload.check_value:#x})"
             )
-        record = RunRecord.from_result(workload_name, policy_name, result)
+        record = RunRecord.from_result(
+            workload_name, policy_name, result,
+            mitigation=getattr(workload, "mitigation", None),
+        )
         if self.verbose:
             print(
                 f"  {workload_name:10s} {policy_name:8s} "

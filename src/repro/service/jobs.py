@@ -54,10 +54,18 @@ class BatchTooLarge(BadRequest):
 _FUZZ_NAME_RE = re.compile(
     r"^fuzz/s\d+/i\d+/f[0-9a-f]{2}(/repaired)?$")
 
+#: Software-mitigated variants (repro.compiler.mitigations): the base may
+#: itself be any valid workload name, including a fuzz one.
+_MIT_PREFIX_RE = re.compile(r"^mit/(fence|slh|slh-lifted|selective)/(?P<base>.+)$")
+
 
 def is_valid_workload(name: Any) -> bool:
-    return isinstance(name, str) and (
-        name in WORKLOAD_NAMES or bool(_FUZZ_NAME_RE.match(name)))
+    if not isinstance(name, str):
+        return False
+    mit = _MIT_PREFIX_RE.match(name)
+    if mit is not None:
+        name = mit.group("base")
+    return name in WORKLOAD_NAMES or bool(_FUZZ_NAME_RE.match(name))
 
 
 def _validated_config(overrides: dict[str, Any]) -> CoreConfig:
@@ -108,8 +116,9 @@ class RunRequest:
         if not is_valid_workload(workload):
             raise BadRequest(
                 f"unknown workload {workload!r} "
-                f"(choices: {', '.join(WORKLOAD_NAMES)}, or a "
-                f"fuzz/s<seed>/i<index>/f<fill> adversarial name)"
+                f"(choices: {', '.join(WORKLOAD_NAMES)}, a "
+                f"fuzz/s<seed>/i<index>/f<fill> adversarial name, or a "
+                f"mit/<pass>/<base> software-mitigated variant)"
             )
         policy = payload.get("policy", "none")
         if policy not in ALL_POLICY_NAMES:

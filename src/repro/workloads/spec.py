@@ -23,6 +23,10 @@ class Workload:
     category: str  # memory / control / compute
     check_reg: int | None = None
     check_value: int | None = None
+    # Mitigation-pass tag (``<pass>@v<version>``) when this workload is the
+    # software-hardened variant of another; part of the cache fingerprint so
+    # results from different pass generations are never conflated.
+    mitigation: str | None = None
 
     def assemble(self) -> Program:
         return assemble(self.source, name=self.name)

@@ -71,8 +71,13 @@ def build_workload(name: str, scale: str = "ref", **overrides) -> Workload:
     ``fuzz/…`` names are synthesized adversarial programs — the name alone
     encodes (seed, index, secret fill, repair state), so any worker process
     can rebuild the exact workload without a corpus file: a fuzz campaign
-    is just another grid.
+    is just another grid.  ``mit/<pass>/<base>`` names are software-hardened
+    variants: the base workload rebuilt through a mitigation pass.
     """
+    if name.startswith("mit/"):
+        from ..compiler.mitigations import build_mitigated_workload
+
+        return build_mitigated_workload(name, scale)
     if name.startswith("fuzz/"):
         from ..adversarial.synth import build_fuzz_workload
 

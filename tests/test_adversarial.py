@@ -80,7 +80,9 @@ def test_repair_certifies_every_gadget(gadget, strategy):
     program = _gadget_program(gadget)
     outcome = repair_program(program, strategy=strategy)
     assert outcome.clean
-    assert outcome.fences_inserted >= 1
+    # Some repair was applied: fences, or a whole mitigation pass
+    # (``cheapest`` may find SLH cheaper than any fence placement).
+    assert outcome.fences_inserted >= 1 or outcome.mitigation
     assert scan_program(outcome.program).clean
     # Dynamic certification: the repaired binary no longer leaks even on
     # the unprotected core.
